@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Appendix D (Figures 13-18 time-difference CDFs)."""
+
+from conftest import bench_experiment
+
+
+def test_appendix_d(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "appendixD")
+    for key, deviation in result.deviations().items():
+        assert abs(deviation) <= 0.03, (key, deviation)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 1 (observed CVEs by publication date)."""
+
+from conftest import bench_experiment
+
+
+def test_figure1(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig1")
+    assert result.measured["quarters with new CVEs (of 8)"] == 8.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (CVSS CDFs: studied vs KEV vs all)."""
+
+from conftest import bench_experiment
+
+
+def test_figure2(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig2")
+    assert result.measured["studied median"] == 9.8
+    assert result.measured["kev median higher than all"] == 1.0
+    assert result.measured["studied median higher than kev"] == 1.0

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 3 (exploit events over the study)."""
+
+from conftest import bench_experiment
+
+
+def test_figure3(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig3")
+    assert result.measured["second half share exceeds first"] == 1.0

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 4 (events relative to publication)."""
+
+from conftest import bench_experiment
+
+
+def test_figure4(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig4")
+    assert result.measured["peak within 60d of publication"] == 1.0

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (desiderata time-difference CDFs)."""
+
+from conftest import bench_experiment
+
+
+def test_figure5(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig5")
+    for key, deviation in result.deviations().items():
+        assert abs(deviation) <= 0.05, (key, deviation)

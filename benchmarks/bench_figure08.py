@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (Log4Shell sessions CDF)."""
+
+from conftest import bench_experiment
+
+
+def test_figure8(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig8")
+    assert result.measured["early concentration"] == 1.0
+    assert result.measured["late resurgence share"] > 0.05

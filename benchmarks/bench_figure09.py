@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 9 (Log4Shell variant CDFs, Dec 2021)."""
+
+from conftest import bench_experiment
+
+
+def test_figure9(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig9")
+    assert result.measured["groups active in December (of 5)"] == 5.0

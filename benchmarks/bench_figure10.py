@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 10 (A − P for KEV entries)."""
+
+from conftest import bench_experiment
+
+
+def test_figure10(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig10")
+    assert abs(result.deviations()["KEV A<P rate"]) <= 0.08
+    assert result.measured["KEV CVEs in window"] == 424.0

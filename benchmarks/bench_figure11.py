@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (DSCOPE vs KEV first exploitation)."""
+
+from conftest import bench_experiment
+
+
+def test_figure11(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig11")
+    assert result.measured["overlap CVEs"] == 44.0
+    assert abs(result.deviations()["DSCOPE-first rate"]) <= 0.08
+    assert abs(result.deviations()[">30d earlier rate"]) <= 0.12

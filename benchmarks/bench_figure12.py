@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 12 (Confluence CVE-2022-26134, Appendix C)."""
+
+from conftest import bench_experiment
+
+
+def test_figure12(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "fig12")
+    assert result.measured["mitigated share"] > 0.95
+    assert result.measured["untargeted early OGNL"] == 1.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Finding 7 (IDS-vendor-in-disclosure experiment)."""
+
+from conftest import bench_experiment
+
+
+def test_finding7(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "finding7")
+    deviations = result.deviations()
+    assert abs(deviations["D<A before"]) <= 0.05
+    assert abs(deviations["D<A after"]) <= 0.05
+    assert result.measured["skill improvement"] > 0.2

@@ -1,0 +1,57 @@
+"""Performance benchmarks for the measurement stack itself.
+
+Unlike the per-figure benches (which time artifact regeneration on a cached
+study run), these measure the system's throughput: traffic generation,
+telescope capture, and NIDS scanning — the pieces a downstream user would
+size a deployment with.
+"""
+
+from repro.datasets.seed_cves import STUDY_WINDOW
+from repro.exploits.rulegen import build_study_ruleset
+from repro.nids.engine import DetectionEngine
+from repro.telescope.collector import DscopeCollector
+from repro.telescope.config import TelescopeConfig
+from repro.traffic.generator import TrafficConfig, TrafficGenerator
+
+
+def _small_config():
+    return TrafficConfig(volume_scale=0.02, background_per_exploit=0.5)
+
+
+def test_traffic_generation_throughput(benchmark):
+    def generate():
+        return TrafficGenerator(_small_config()).generate()
+
+    arrivals = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(arrivals) > 2000
+
+
+def test_telescope_capture_throughput(benchmark):
+    arrivals = TrafficGenerator(_small_config()).generate()
+
+    def collect():
+        collector = DscopeCollector(
+            TelescopeConfig(concurrent_instances=300), window=STUDY_WINDOW
+        )
+        return collector.collect(arrivals)
+
+    store = benchmark.pedantic(collect, rounds=3, iterations=1)
+    assert len(store) == len(arrivals)
+
+
+def test_nids_scan_throughput(benchmark):
+    arrivals = TrafficGenerator(_small_config()).generate()
+    collector = DscopeCollector(window=STUDY_WINDOW)
+    store = collector.collect(arrivals)
+    ruleset = build_study_ruleset()
+
+    def scan():
+        return DetectionEngine(ruleset).scan(store)
+
+    alerts = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert alerts
+
+
+def test_ruleset_build(benchmark):
+    ruleset = benchmark.pedantic(build_study_ruleset, rounds=5, iterations=1)
+    assert len(ruleset) == 80

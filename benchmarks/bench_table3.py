@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 (desiderata matrices)."""
+
+from conftest import bench_experiment
+
+
+def test_table3(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "table3")
+    # Both matrices render, 6x6 plus headers.
+    assert "Table 3 (householder-spring)" in result.text
+    assert "Table 3 (this-work)" in result.text

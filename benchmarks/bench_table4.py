@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4 (per-CVE desiderata satisfaction + skill).
+
+Headline reproduction: every satisfaction rate within 0.05 of the paper,
+mean skill ~0.37, 8 of 9 desiderata skillful with X < A the sole negative.
+"""
+
+from repro.core.skill import compute_skill, mean_skill
+
+from conftest import bench_experiment
+
+
+def test_table4(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "table4")
+    for key, deviation in result.deviations().items():
+        assert abs(deviation) <= 0.05, (key, deviation)
+    reports = compute_skill(study_full.timelines.values())
+    assert sum(1 for r in reports if r.skill > 0) == 8
+    negatives = [r.desideratum.label for r in reports if r.skill < 0]
+    assert negatives == ["X < A"]

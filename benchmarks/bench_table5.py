@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 5 (per-event desiderata satisfaction).
+
+Shape target: attack-relative desiderata (D<A, F<A, V<A, P<A) near-perfect
+per event, in sharp contrast to Table 4's per-CVE rates.  The F<X / D<X
+rows deviate from the paper's 0.54 (see EXPERIMENTS.md: with the published
+per-CVE event counts and X dates, the event-weighted rate cannot be 0.54;
+we report what the data yields).
+"""
+
+from conftest import bench_experiment
+
+
+def test_table5(benchmark, study_full, results_dir):
+    result = bench_experiment(benchmark, study_full, results_dir, "table5")
+    measured = result.measured
+    assert measured["D < A"] > 0.85
+    assert measured["F < A"] > 0.85
+    assert measured["V < A"] > 0.97
+    assert measured["P < A"] > 0.97
+    assert measured["F < P"] < 0.05
+    assert measured["D < P"] < 0.05
+    assert measured["X < A"] > 0.6

@@ -1,0 +1,75 @@
+"""Benchmark harness fixtures.
+
+One full-scale study run (the paper's two years of traffic, ~117k exploit
+events; scale with ``REPRO_BENCH_SCALE``) is shared by every benchmark.
+Each bench times the *regeneration* of one paper artifact from that run,
+asserts the measured values land within shape tolerance of the paper, and
+writes a paper-vs-measured report to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.pipeline import StudyConfig, StudyResult, run_study
+from repro.experiments.registry import ExperimentResult, run_experiment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def study_full() -> StudyResult:
+    """The study run benchmarks analyse (built once per session)."""
+    return run_study(
+        StudyConfig(
+            volume_scale=BENCH_SCALE,
+            background_per_exploit=1.0,
+            background_nvd_count=20000,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def write_report(results_dir: Path, result: ExperimentResult) -> None:
+    """Persist one experiment's paper-vs-measured report."""
+    lines = [f"{result.experiment_id}: {result.title}", ""]
+    if result.paper:
+        lines.append(f"{'quantity':45s} {'paper':>10s} {'measured':>10s}")
+        for key, paper_value in result.paper.items():
+            measured = result.measured.get(key)
+            measured_text = f"{measured:10.3f}" if measured is not None else "      -"
+            lines.append(f"{key:45s} {paper_value:10.3f} {measured_text}")
+        lines.append("")
+    extra = {
+        key: value for key, value in result.measured.items()
+        if key not in result.paper
+    }
+    if extra:
+        lines.append("additional measured quantities:")
+        for key, value in extra.items():
+            lines.append(f"  {key}: {value:.3f}")
+        lines.append("")
+    lines.append(result.text)
+    (results_dir / f"{result.experiment_id}.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+
+
+def bench_experiment(
+    benchmark, study: StudyResult, results_dir: Path, experiment_id: str
+) -> ExperimentResult:
+    """Time an experiment's regeneration and persist its report."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, study), rounds=3, iterations=1
+    )
+    write_report(results_dir, result)
+    return result

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Disclosure-policy lab: counterfactual CVD experiments on real lifecycles.
+
+The paper's Section 6 argues CVD policy with two quantitative levers; this
+example turns both into a small what-if laboratory:
+
+1. **Include IDS vendors in coordinated disclosure** (Finding 7): snap rule
+   deployment to the announcement for CVEs whose rules trailed publication
+   by various inclusion windows, and watch the D < A desideratum respond.
+2. **The registered-user rule delay** (Section 5 footnote 2): non-paying
+   Snort users receive rules 30 days late; re-run the lifecycle assembly
+   under increasing feed delays and watch defense-before-attack collapse.
+
+    python examples/disclosure_policy_lab.py
+"""
+
+from datetime import timedelta
+
+from repro import build_datasets
+from repro.core.hypothetical import ids_vendor_inclusion_experiment
+from repro.core.skill import compute_skill
+from repro.lifecycle.assembly import assemble_timelines
+from repro.util.tables import render_table
+
+
+def inclusion_window_sweep(timelines) -> None:
+    rows = []
+    for window_days in (0, 7, 14, 30, 60, 120):
+        outcome = ids_vendor_inclusion_experiment(
+            timelines, inclusion_window=timedelta(days=window_days)
+        )
+        rows.append([
+            window_days,
+            f"{outcome.satisfied_before:.2f}",
+            f"{outcome.satisfied_after:.2f}",
+            f"{outcome.skill_after:.2f}",
+            outcome.cves_shifted,
+        ])
+    print(render_table(
+        ["inclusion window (days)", "D<A before", "D<A after",
+         "skill after", "CVEs shifted"],
+        rows,
+        title="Lever 1: include IDS vendors in disclosure (Finding 7)",
+    ))
+
+
+def rule_delay_sweep() -> None:
+    rows = []
+    for delay_days in (0, 7, 30, 90):
+        bundle = build_datasets(rule_delay_days=delay_days,
+                                background_count=100)
+        timelines = assemble_timelines(bundle)
+        reports = {
+            r.desideratum.label: r for r in compute_skill(timelines.values())
+        }
+        rows.append([
+            delay_days,
+            f"{reports['D < A'].observed:.2f}",
+            f"{reports['D < A'].skill:.2f}",
+            f"{reports['D < X'].observed:.2f}",
+        ])
+    print(render_table(
+        ["feed delay (days)", "D<A satisfied", "D<A skill", "D<X satisfied"],
+        rows,
+        title="Lever 2: registered-user rule feed delay (footnote 2)",
+    ))
+
+
+def main() -> None:
+    bundle = build_datasets(background_count=100)
+    timelines = assemble_timelines(bundle)
+
+    inclusion_window_sweep(timelines)
+    print()
+    rule_delay_sweep()
+    print(
+        "\nReading: a modest inclusion window already recovers most of the\n"
+        "achievable D < A improvement, while even the standard 30-day feed\n"
+        "delay erases much of the defense-before-attack advantage — the\n"
+        "paper's argument that IDS vendors belong inside coordinated\n"
+        "disclosure, and that rule delivery delays are security-critical."
+    )
+
+
+if __name__ == "__main__":
+    main()

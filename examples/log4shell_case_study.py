@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Case study: the Log4Shell (CVE-2021-44228) attack/defense arms race.
+
+Reproduces Section 7.1 of the paper: the campaign's burst-then-tail shape
+with a late resurgence (Figure 8), the December 2021 variant race in which
+adversaries iterated obfuscations against freshly deployed signatures
+(Figure 9), and the measured Table 6 — each signature's first matching
+attack relative to its own publication.
+
+    python examples/log4shell_case_study.py
+"""
+
+import argparse
+
+from repro import StudyConfig, run_study
+from repro.analysis.log4shell import analyse_log4shell, table6_rows
+from repro.reporting.tables import render_table6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+
+    print(f"running study (volume scale {args.scale}) ...")
+    result = run_study(StudyConfig(volume_scale=args.scale,
+                                   background_nvd_count=2000))
+    analysis = analyse_log4shell(result.events_per_cve)
+
+    print(f"\nLog4Shell exploit events observed: {analysis.total_events:,}")
+    print(f"share within one week of publication: "
+          f"{analysis.first_week_share:.0%}")
+    print(f"share more than 300 days after publication (resurgence, "
+          f"Finding 13): {analysis.resurgence_share_after_300d:.0%}")
+
+    print("\nDecember 2021 signature-group activity (Figure 9):")
+    for group, cdf in sorted(analysis.group_cdfs_december.items()):
+        median_day = cdf.quantile(0.5)
+        print(f"  group {group}: {cdf.n:6,} sessions in December, "
+              f"median on Dec {int(median_day) + 1}")
+
+    print()
+    print(render_table6(table6_rows(analysis)))
+    print("\nNegative 'A - D' rows are variants whose traffic predates the")
+    print("signature built for them — adversarial adaptation outrunning")
+    print("defense (Finding 14); they are only discoverable because the")
+    print("archive is scanned post-facto (the 'wayback' methodology).")
+
+
+if __name__ == "__main__":
+    main()

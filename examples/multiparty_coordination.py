@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Multi-party coordination and the limits of single-vendor CVD.
+
+Three extension analyses built on the measured lifecycles:
+
+1. **MPCVD view** — expand each CVE into a multi-party case (software
+   vendor, IDS vendor, a downstream distributor) and measure coordination
+   quality: how often does *every* party have a fix before publication?
+2. **Luck baselines under multi-party disclosure** — the Markov model shows
+   coordination gets harder by luck alone as parties are added.
+3. **Vendor sophistication** — mitigation availability by vendor category
+   (enterprise vs appliance vs IoT vs open source), the Section 8 story.
+
+    python examples/multiparty_coordination.py
+"""
+
+from repro import build_datasets
+from repro.analysis.vendors import category_summaries, sophistication_gap_days
+from repro.core.mpcvd import MultiPartyModel, generate_mpcvd_cases, summarise_cases
+from repro.lifecycle.assembly import assemble_timelines
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    timelines = assemble_timelines(build_datasets(background_count=100))
+
+    # 1. Multi-party coordination quality.
+    cases = generate_mpcvd_cases(timelines)
+    summary = summarise_cases(cases)
+    print("MPCVD view of the studied CVEs "
+          f"({summary.cases} cases, 3 parties each):")
+    print(f"  parties aware before publication: "
+          f"{summary.mean_aware_before_public:.0%}")
+    print(f"  parties with a fix before publication: "
+          f"{summary.mean_fix_before_public:.0%}")
+    print(f"  fully coordinated disclosures (every party ready): "
+          f"{summary.fully_coordinated_rate:.0%}")
+    print(f"  median fix spread across parties: "
+          f"{summary.median_fix_spread_days:.0f} days")
+
+    # 2. Coordination by luck, as parties are added.  A single party's
+    # pairwise baselines are invariant in party count (each party's chain
+    # races the shared events independently); the *joint* ideal — every
+    # party's fix ready before publication — is what collapses.
+    print("\nLuck baseline for the joint ideal 'every party's fix before "
+          "publication':")
+    for parties in (1, 2, 3, 4):
+        model = MultiPartyModel.mpcvd(parties)
+        joint = model.predicate_probability_mc(
+            model.all_fixes_before_public, samples=20000
+        )
+        print(f"  {parties} part{'y ' if parties == 1 else 'ies'}: {joint:.3f}")
+    print("  -> synchronised multi-party readiness is exponentially unlikely")
+    print("     by luck; achieving it takes coordination, which is exactly")
+    print("     what the measured 9% fully-coordinated rate shows is rare.")
+
+    # 3. Vendor sophistication.
+    rows = []
+    for summary_row in category_summaries(timelines):
+        rows.append([
+            summary_row.category,
+            summary_row.cves,
+            None if summary_row.median_fix_lag_days is None
+            else round(summary_row.median_fix_lag_days, 1),
+            None if summary_row.defense_first_rate is None
+            else round(summary_row.defense_first_rate, 2),
+            summary_row.pre_publication_rules,
+        ])
+    print()
+    print(render_table(
+        ["vendor category", "CVEs", "median D-P (days)", "D<A rate",
+         "pre-pub rules"],
+        rows,
+        title="Mitigation speed by vendor sophistication",
+    ))
+    gap = sophistication_gap_days(timelines)
+    print(f"\nIoT/embedded mitigations lag enterprise software by "
+          f"{gap:.0f} days at the median — the Section 8 argument for "
+          f"routing disclosure through parties (like IDS vendors) that can "
+          f"ship defenses when the vendor cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full study pipeline and print the headline results.
+
+This reproduces the paper's core loop end to end:
+
+    synthetic Internet traffic  ->  DSCOPE telescope capture
+    ->  post-facto Snort evaluation (port-insensitive, earliest SID)
+    ->  root-cause analysis  ->  CVE lifecycles  ->  CVD skill (Table 4)
+
+Run with a smaller ``--scale`` for a faster demo (first-attack timing — and
+therefore every lifecycle statistic — is unaffected by scale; only event
+volumes shrink).
+
+    python examples/quickstart.py --scale 0.05
+"""
+
+import argparse
+
+from repro import StudyConfig, run_study
+from repro.core.exposure import mitigated_share, unmitigated_half_life_days
+from repro.core.skill import compute_skill, mean_skill
+from repro.reporting.tables import render_skill_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="traffic volume scale (1.0 = the paper's ~117k exploit events)",
+    )
+    parser.add_argument("--seed", type=int, default=20230321)
+    args = parser.parse_args()
+
+    print(f"running study (volume scale {args.scale}, seed {args.seed}) ...")
+    result = run_study(
+        StudyConfig(seed=args.seed, volume_scale=args.scale,
+                    background_nvd_count=5000)
+    )
+
+    stats = result.collection_stats
+    print(f"\ncaptured {len(result.store):,} TCP sessions on "
+          f"{stats.unique_receiving_ips:,} telescope IPs "
+          f"from {stats.unique_source_ips:,} sources")
+    print(f"NIDS attributed {len(result.events):,} sessions; root-cause "
+          f"analysis kept {len(result.kept_cves)} CVEs and dropped "
+          f"{len(result.dropped_cves)} false-positive signatures "
+          f"({', '.join(result.dropped_cves)})")
+
+    reports = compute_skill(result.timelines.values())
+    print()
+    print(render_skill_table(reports, title="Table 4 (measured)"))
+    print(f"\nmean skill: {mean_skill(reports):.2f}  (paper: 0.37)")
+    print(f"per-event mitigated share: "
+          f"{mitigated_share(result.kept_events):.2f}  (paper: 0.95)")
+    print(f"50% of unmitigated exposure within "
+          f"{unmitigated_half_life_days(result.kept_events, result.timelines):.0f} "
+          f"days of publication  (paper: 30)")
+
+
+if __name__ == "__main__":
+    main()

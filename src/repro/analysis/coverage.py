@@ -1,0 +1,95 @@
+"""Detection-coverage validation: NIDS attribution vs ground truth.
+
+The traffic generator tags every arrival with the CVE it implements (or
+None for background), and the collector threads those tags through capture
+as a per-session ground-truth map that the detection pipeline never reads.
+This module closes the loop: it scores the NIDS attribution against that
+ground truth, the reproduction's equivalent of the paper's manual payload
+verification (Section 3.2).
+
+Scoring treats the two deliberately-unsound signatures as what they are:
+their alerts on background traffic are the *intended* false positives that
+root-cause analysis exists to remove, so they are reported separately from
+genuine misattribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.exploits.rulegen import FALSE_POSITIVE_CVES
+from repro.lifecycle.exploit_events import ExploitEvent
+
+
+@dataclass(frozen=True)
+class AttributionQuality:
+    """Precision/recall of CVE attribution against ground truth."""
+
+    exploit_sessions: int
+    attributed_sessions: int
+    correctly_attributed: int
+    misattributed: int
+    missed: int
+    background_sessions: int
+    injected_fp_alerts: int
+    unexpected_background_alerts: int
+
+    @property
+    def recall(self) -> float:
+        """Share of ground-truth exploit sessions attributed to a CVE."""
+        if self.exploit_sessions == 0:
+            raise ValueError("no exploit sessions in ground truth")
+        return self.attributed_sessions / self.exploit_sessions
+
+    @property
+    def precision(self) -> float:
+        """Share of attributed exploit sessions attributed *correctly*."""
+        if self.attributed_sessions == 0:
+            raise ValueError("no attributed sessions")
+        return self.correctly_attributed / self.attributed_sessions
+
+
+def attribution_quality(
+    events: Iterable[ExploitEvent],
+    ground_truth: Mapping[int, Optional[str]],
+) -> AttributionQuality:
+    """Score an attributed event stream against the collector's truth map.
+
+    ``events`` should be the pre-RCA event stream (all alerts converted to
+    events) so the injected false positives are visible and countable.
+    """
+    attribution: Dict[int, str] = {
+        event.session_id: event.cve_id for event in events
+    }
+    exploit_sessions = attributed = correct = misattributed = 0
+    background = injected_fp = unexpected_background = 0
+    for session_id, truth in ground_truth.items():
+        claimed = attribution.get(session_id)
+        if truth is None:
+            background += 1
+            if claimed is None:
+                continue
+            if claimed in FALSE_POSITIVE_CVES:
+                injected_fp += 1
+            else:
+                unexpected_background += 1
+            continue
+        exploit_sessions += 1
+        if claimed is None:
+            continue
+        attributed += 1
+        if claimed == truth:
+            correct += 1
+        else:
+            misattributed += 1
+    return AttributionQuality(
+        exploit_sessions=exploit_sessions,
+        attributed_sessions=attributed,
+        correctly_attributed=correct,
+        misattributed=misattributed,
+        missed=exploit_sessions - attributed,
+        background_sessions=background,
+        injected_fp_alerts=injected_fp,
+        unexpected_background_alerts=unexpected_background,
+    )

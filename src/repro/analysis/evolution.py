@@ -1,0 +1,89 @@
+"""CVD effectiveness over time (publication cohorts).
+
+Section 4 anticipates that "the analyses and dataset produced in this paper
+will be useful for analyzing the evolution of CVD effectiveness over time".
+This module implements that analysis: studied CVEs are grouped into
+publication-date cohorts and the skill machinery is applied per cohort, so
+trends (is disclosure getting more skillful?) become measurable.
+
+With 64 CVEs the cohorts are small — the bootstrap module's caveats apply —
+but the machinery is exactly what a longer-running telescope would feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.skill import compute_skill, mean_skill
+from repro.datasets.seed_cves import STUDY_WINDOW
+from repro.lifecycle.events import A, CveTimeline, D, P
+from repro.util.timeutil import TimeWindow
+
+
+@dataclass(frozen=True)
+class CohortSkill:
+    """CVD outcomes for one publication cohort."""
+
+    start: datetime
+    end: datetime
+    cves: int
+    mean_skill: Optional[float]
+    defense_first_rate: Optional[float]
+
+    @property
+    def label(self) -> str:
+        return f"{self.start:%Y-%m} .. {self.end:%Y-%m}"
+
+
+def cohort_skills(
+    timelines: Mapping[str, CveTimeline],
+    *,
+    window: TimeWindow = STUDY_WINDOW,
+    cohort_days: float = 183.0,
+    min_cves: int = 4,
+) -> List[CohortSkill]:
+    """Skill per publication cohort (default: half-year cohorts).
+
+    Cohorts with fewer than ``min_cves`` evaluable CVEs report None rather
+    than a meaningless point estimate.
+    """
+    if cohort_days <= 0:
+        raise ValueError("cohort_days must be positive")
+    cohorts: List[CohortSkill] = []
+    cursor = window.start
+    step = timedelta(days=cohort_days)
+    while cursor < window.end:
+        end = min(cursor + step, window.end)
+        members = [
+            timeline
+            for timeline in timelines.values()
+            if timeline.time(P) is not None and cursor <= timeline.time(P) < end
+        ]
+        skill_value: Optional[float] = None
+        defense_rate: Optional[float] = None
+        if len(members) >= min_cves:
+            reports = [
+                r for r in compute_skill(members) if r.evaluated > 0
+            ]
+            if reports:
+                skill_value = mean_skill(reports)
+            outcomes = [
+                timeline.precedes(D, A)
+                for timeline in members
+                if timeline.precedes(D, A) is not None
+            ]
+            if outcomes:
+                defense_rate = sum(outcomes) / len(outcomes)
+        cohorts.append(
+            CohortSkill(
+                start=cursor,
+                end=end,
+                cves=len(members),
+                mean_skill=skill_value,
+                defense_first_rate=defense_rate,
+            )
+        )
+        cursor = end
+    return cohorts

@@ -1,0 +1,173 @@
+"""The end-to-end study pipeline.
+
+One call, :func:`run_study`, reproduces the paper's data flow:
+
+1. build the six datasets (:mod:`repro.datasets`);
+2. generate two years of Internet scanning traffic (:mod:`repro.traffic`);
+3. capture it with the DSCOPE telescope simulator (:mod:`repro.telescope`);
+4. evaluate the Snort ruleset post-facto, port-insensitively, retaining the
+   earliest-published matching signature (:mod:`repro.nids`);
+5. extract exploit events and run root-cause analysis (:mod:`repro.lifecycle`);
+6. assemble per-CVE timelines using the *measured* first attacks.
+
+Every analysis and benchmark consumes the resulting :class:`StudyResult`.
+``volume_scale`` trades fidelity of event *counts* against runtime; event
+*timing* statistics (first attacks, desiderata, skill) are unaffected by
+scale because first events are pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+from typing import Dict, List, Optional
+
+from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_datasets
+from repro.exploits.rulegen import build_study_ruleset
+from repro.lifecycle.assembly import assemble_timelines
+from repro.lifecycle.events import CveTimeline
+from repro.lifecycle.exploit_events import (
+    ExploitEvent,
+    events_by_cve,
+    events_from_alerts,
+    first_attacks,
+)
+from repro.lifecycle.rca import RcaDecision, RootCauseAnalysis
+from repro.net.pcapstore import SessionStore
+from repro.nids.engine import DetectionEngine
+from repro.nids.ruleset import Alert, Ruleset
+from repro.telescope.collector import CollectionStats, DscopeCollector
+from repro.telescope.config import TelescopeConfig
+from repro.traffic.generator import TrafficConfig, TrafficGenerator
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration for one full study run."""
+
+    seed: int = DEFAULT_SEED
+    volume_scale: float = 0.1
+    background_per_exploit: float = 0.5
+    background_nvd_count: int = 20000
+    rule_delay: timedelta = timedelta(0)
+    telescope_instances: int = 300
+
+    #: Named presets: quick (CI-sized), standard (interactive), full (the
+    #: paper's complete traffic volume).
+    PRESETS = {
+        "quick": dict(volume_scale=0.02, background_per_exploit=0.3,
+                      background_nvd_count=2000),
+        "standard": dict(volume_scale=0.1, background_per_exploit=0.5,
+                         background_nvd_count=20000),
+        "full": dict(volume_scale=1.0, background_per_exploit=1.0,
+                     background_nvd_count=20000),
+    }
+
+    @classmethod
+    def preset(cls, name: str, *, seed: int = DEFAULT_SEED) -> "StudyConfig":
+        """A named configuration preset.
+
+        >>> StudyConfig.preset("full").volume_scale
+        1.0
+        """
+        try:
+            values = cls.PRESETS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {name!r}; known: {sorted(cls.PRESETS)}"
+            ) from None
+        return cls(seed=seed, **values)
+
+
+@dataclass
+class StudyResult:
+    """Everything a study run produces."""
+
+    config: StudyConfig
+    bundle: DatasetBundle
+    store: SessionStore
+    ruleset: Ruleset
+    alerts: List[Alert]
+    events: List[ExploitEvent]
+    events_per_cve: Dict[str, List[ExploitEvent]]
+    rca_decisions: List[RcaDecision]
+    timelines: Dict[str, CveTimeline]
+    collection_stats: CollectionStats
+    #: session_id -> ground-truth CVE (validation only; the detection
+    #: pipeline never reads it).
+    ground_truth: Dict[int, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def kept_cves(self) -> List[str]:
+        """CVEs surviving root-cause analysis, sorted."""
+        return sorted(self.events_per_cve)
+
+    @property
+    def dropped_cves(self) -> List[str]:
+        """CVEs pruned as signature false positives."""
+        return sorted(
+            decision.cve_id for decision in self.rca_decisions if not decision.kept
+        )
+
+    @property
+    def kept_events(self) -> List[ExploitEvent]:
+        """Exploit events for surviving CVEs only, time-sorted."""
+        kept: List[ExploitEvent] = []
+        for group in self.events_per_cve.values():
+            kept.extend(group)
+        kept.sort(key=lambda event: event.timestamp)
+        return kept
+
+
+def run_study(config: Optional[StudyConfig] = None) -> StudyResult:
+    """Run the complete pipeline and return its result."""
+    config = config or StudyConfig()
+    bundle = build_datasets(
+        seed=config.seed,
+        background_count=config.background_nvd_count,
+        rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
+    )
+
+    generator = TrafficGenerator(
+        TrafficConfig(
+            seed=config.seed,
+            volume_scale=config.volume_scale,
+            background_per_exploit=config.background_per_exploit,
+        ),
+        window=bundle.window,
+    )
+    arrivals = generator.generate()
+
+    collector = DscopeCollector(
+        TelescopeConfig(
+            concurrent_instances=config.telescope_instances, seed=config.seed
+        ),
+        window=bundle.window,
+    )
+    store = collector.collect(arrivals)
+
+    ruleset = build_study_ruleset(rule_delay=config.rule_delay)
+    engine = DetectionEngine(ruleset)
+    alerts = engine.scan(store)
+
+    events = events_from_alerts(alerts)
+    grouped = events_by_cve(events)
+    rca = RootCauseAnalysis(store)
+    kept, decisions = rca.filter(grouped)
+
+    kept_events = [event for group in kept.values() for event in group]
+    timelines = assemble_timelines(bundle, first_attacks(kept_events))
+
+    return StudyResult(
+        config=config,
+        bundle=bundle,
+        store=store,
+        ruleset=ruleset,
+        alerts=alerts,
+        events=events,
+        events_per_cve=kept,
+        rca_decisions=decisions,
+        timelines=timelines,
+        collection_stats=collector.stats,
+        ground_truth=collector.ground_truth,
+    )

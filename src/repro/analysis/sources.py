@@ -1,0 +1,121 @@
+"""Scanner-source analysis.
+
+Section 4 of the paper observes that exploitation is concentrated in a tiny
+source population: of 15M source IPs contacting the telescope, only ~3.6k
+ever sent traffic targeting the studied CVEs, and (as with most scanning
+phenomena) a small head of sources carries most of the volume.  This module
+characterises that population from an attributed event stream: per-source
+profiles, volume concentration, and cross-campaign reuse of infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lifecycle.exploit_events import ExploitEvent
+from repro.util.iputil import format_ipv4
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """Aggregate behaviour of one scanner source."""
+
+    src_ip: int
+    events: int
+    cves: Tuple[str, ...]
+    first_seen: datetime
+    last_seen: datetime
+
+    @property
+    def address(self) -> str:
+        return format_ipv4(self.src_ip)
+
+    @property
+    def campaign_count(self) -> int:
+        return len(self.cves)
+
+    @property
+    def active_days(self) -> float:
+        return (self.last_seen - self.first_seen).total_seconds() / 86400.0
+
+
+def source_profiles(events: Iterable[ExploitEvent]) -> List[SourceProfile]:
+    """Per-source profiles, sorted by event volume descending."""
+    volumes: Dict[int, int] = {}
+    cves: Dict[int, set] = {}
+    first: Dict[int, datetime] = {}
+    last: Dict[int, datetime] = {}
+    for event in events:
+        ip = event.src_ip
+        volumes[ip] = volumes.get(ip, 0) + 1
+        cves.setdefault(ip, set()).add(event.cve_id)
+        if ip not in first or event.timestamp < first[ip]:
+            first[ip] = event.timestamp
+        if ip not in last or event.timestamp > last[ip]:
+            last[ip] = event.timestamp
+    profiles = [
+        SourceProfile(
+            src_ip=ip,
+            events=volume,
+            cves=tuple(sorted(cves[ip])),
+            first_seen=first[ip],
+            last_seen=last[ip],
+        )
+        for ip, volume in volumes.items()
+    ]
+    profiles.sort(key=lambda profile: (-profile.events, profile.src_ip))
+    return profiles
+
+
+@dataclass(frozen=True)
+class SourceConcentration:
+    """Volume-concentration summary of the scanner population."""
+
+    sources: int
+    events: int
+    top_decile_share: float
+    top_source_share: float
+    multi_campaign_sources: int
+
+    @property
+    def multi_campaign_share(self) -> float:
+        if self.sources == 0:
+            return 0.0
+        return self.multi_campaign_sources / self.sources
+
+
+def source_concentration(
+    events: Iterable[ExploitEvent],
+) -> SourceConcentration:
+    """Concentration statistics over an attributed event stream.
+
+    The paper's qualitative expectations: a heavy-tailed head (the top 10%
+    of sources carry well over half the traffic) and substantial
+    infrastructure reuse across campaigns.
+    """
+    profiles = source_profiles(events)
+    if not profiles:
+        raise ValueError("no exploit events")
+    total_events = sum(profile.events for profile in profiles)
+    decile = max(1, len(profiles) // 10)
+    top_decile = sum(profile.events for profile in profiles[:decile])
+    multi = sum(1 for profile in profiles if profile.campaign_count > 1)
+    return SourceConcentration(
+        sources=len(profiles),
+        events=total_events,
+        top_decile_share=top_decile / total_events,
+        top_source_share=profiles[0].events / total_events,
+        multi_campaign_sources=multi,
+    )
+
+
+def campaigns_per_source_histogram(
+    events: Iterable[ExploitEvent],
+) -> List[Tuple[int, int]]:
+    """(campaign count, number of sources) pairs, ascending."""
+    counts: Dict[int, int] = {}
+    for profile in source_profiles(events):
+        counts[profile.campaign_count] = counts.get(profile.campaign_count, 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,99 @@
+"""Vendor-sophistication analysis (paper Section 8.1).
+
+The paper's discussion attributes CVD failures partly to vendor
+sophistication: "when vendors are unsophisticated these timelines may be too
+tight to ensure a successful outcome".  This module quantifies that along
+the catalog's vendor categories: how quickly mitigations become available
+(D − P), and how often defense beats attack (D < A), per category.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.datasets.catalog import VENDOR_CATEGORY_KINDS, profile_for
+from repro.lifecycle.events import A, CveTimeline, D, P
+from repro.util.timeutil import to_days
+
+
+@dataclass(frozen=True)
+class CategorySummary:
+    """CVD outcomes for one vendor-sophistication category."""
+
+    category: str
+    cves: int
+    median_fix_lag_days: Optional[float]
+    defense_first_rate: Optional[float]
+    pre_publication_rules: int
+
+    @property
+    def has_data(self) -> bool:
+        return self.cves > 0
+
+
+def categorise_timelines(
+    timelines: Mapping[str, CveTimeline],
+) -> Dict[str, List[CveTimeline]]:
+    """Group studied-CVE timelines by vendor category."""
+    grouped: Dict[str, List[CveTimeline]] = {
+        kind: [] for kind in VENDOR_CATEGORY_KINDS
+    }
+    for cve_id, timeline in timelines.items():
+        try:
+            category = profile_for(cve_id).category
+        except KeyError:
+            continue  # non-studied CVE (e.g. RCA-injected fakes)
+        grouped[category].append(timeline)
+    return grouped
+
+
+def category_summaries(
+    timelines: Mapping[str, CveTimeline],
+) -> List[CategorySummary]:
+    """Per-category CVD outcome summary, in fixed category order."""
+    summaries: List[CategorySummary] = []
+    for category, members in categorise_timelines(timelines).items():
+        fix_lags = []
+        defense_first = []
+        pre_publication = 0
+        for timeline in members:
+            deployed, published = timeline.time(D), timeline.time(P)
+            if deployed is not None and published is not None:
+                lag = to_days(deployed - published)
+                fix_lags.append(lag)
+                if lag < 0:
+                    pre_publication += 1
+            outcome = timeline.precedes(D, A)
+            if outcome is not None:
+                defense_first.append(outcome)
+        summaries.append(
+            CategorySummary(
+                category=category,
+                cves=len(members),
+                median_fix_lag_days=(
+                    statistics.median(fix_lags) if fix_lags else None
+                ),
+                defense_first_rate=(
+                    sum(defense_first) / len(defense_first)
+                    if defense_first
+                    else None
+                ),
+                pre_publication_rules=pre_publication,
+            )
+        )
+    return summaries
+
+
+def sophistication_gap_days(
+    timelines: Mapping[str, CveTimeline],
+) -> Optional[float]:
+    """Median fix lag of IoT/embedded vendors minus enterprise software —
+    the headline sophistication gap (positive = IoT slower)."""
+    by_category = {s.category: s for s in category_summaries(timelines)}
+    iot = by_category["iot-embedded"].median_fix_lag_days
+    enterprise = by_category["enterprise-software"].median_fix_lag_days
+    if iot is None or enterprise is None:
+        return None
+    return iot - enterprise

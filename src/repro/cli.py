@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run         run the full study pipeline, print the headline
+                      results, optionally export artifacts to a directory
+    repro experiment  regenerate one paper table/figure (see `repro list`)
+    repro report      per-CVE lifecycle dossier from a study run
+    repro list        list regenerable experiments
+    repro rules       dump the generated Snort ruleset text
+    repro seeds       print the encoded Appendix E seed table
+    repro baselines   paper baselines vs exactly computed Markov baselines
+
+Every subcommand is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.pipeline import StudyConfig, StudyResult, run_study
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.util.tables import render_table
+
+
+def _add_study_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="traffic volume scale (1.0 = the paper's full ~117k events)",
+    )
+    parser.add_argument("--seed", type=int, default=20230321)
+
+
+def _study(args: argparse.Namespace) -> StudyResult:
+    return run_study(
+        StudyConfig(
+            seed=args.seed,
+            volume_scale=args.scale,
+            background_nvd_count=5000,
+        )
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.exposure import mitigated_share
+    from repro.core.skill import compute_skill, mean_skill
+    from repro.reporting.tables import render_skill_table
+
+    result = _study(args)
+    reports = compute_skill(result.timelines.values())
+    print(render_skill_table(reports, title="Table 4 (measured)"))
+    print(f"\nmean skill: {mean_skill(reports):.2f}")
+    print(f"exploit events: {len(result.kept_events):,} across "
+          f"{len(result.kept_cves)} CVEs "
+          f"(dropped: {', '.join(result.dropped_cves) or 'none'})")
+    print(f"per-event mitigated share: "
+          f"{mitigated_share(result.kept_events):.2f}")
+
+    if args.out is not None:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        _export_artifacts(result, out)
+        print(f"\nartifacts written to {out}/")
+    return 0
+
+
+def _export_artifacts(result: StudyResult, out: Path) -> None:
+    from repro.reporting.export import export_csv, export_json
+    from repro.reporting.figures import downsample_cdf, figure_series
+    from repro.core.exposure import exposure_cdf
+
+    mitigated, unmitigated = exposure_cdf(result.kept_events, result.timelines)
+    export_csv(
+        out / "exposure_cdfs.csv",
+        [
+            downsample_cdf(mitigated),
+            downsample_cdf(unmitigated),
+        ],
+    )
+    summaries = {}
+    for experiment_id in list_experiments():
+        report = run_experiment(experiment_id, result)
+        summaries[experiment_id] = {
+            "title": report.title,
+            "paper": report.paper,
+            "measured": report.measured,
+        }
+        (out / f"{experiment_id}.txt").write_text(report.text + "\n")
+    export_json(out / "experiments.json", summaries)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = _study(args)
+    report = run_experiment(args.id, result)
+    print(f"{report.experiment_id}: {report.title}\n")
+    if report.paper:
+        rows = [
+            [key, f"{value:.3f}", f"{report.measured.get(key, float('nan')):.3f}"]
+            for key, value in report.paper.items()
+        ]
+        print(render_table(["quantity", "paper", "measured"], rows))
+        print()
+    print(report.text)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.cve_report import build_cve_report, render_cve_report
+
+    result = _study(args)
+    cve_id = args.cve.upper()
+    if not cve_id.startswith("CVE-"):
+        cve_id = f"CVE-{cve_id}"
+    timeline = result.timelines.get(cve_id)
+    if timeline is None:
+        print(f"unknown CVE {cve_id}; studied CVEs:", file=sys.stderr)
+        for known in sorted(result.timelines):
+            print(f"  {known}", file=sys.stderr)
+        return 1
+    events = result.events_per_cve.get(cve_id, ())
+    print(render_cve_report(build_cve_report(timeline, events)))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.exploits.rulegen import generate_all_rule_texts
+
+    if args.lint:
+        from repro.nids.lint import lint_rules
+        from repro.nids.parser import parse_rule as _parse
+
+        rules = [
+            _parse(text)
+            for text, _ in generate_all_rule_texts(
+                include_false_positives=not args.no_fp
+            )
+        ]
+        findings = lint_rules(rules)
+        for finding in findings:
+            print(f"sid:{finding.sid}  [{finding.check}]  {finding.message}")
+        print(f"\n{len(findings)} finding(s) across {len(rules)} rules")
+        return 0
+
+    for text, published in generate_all_rule_texts(
+        include_false_positives=not args.no_fp
+    ):
+        print(f"# published {published:%Y-%m-%d %H:%M}")
+        print(text)
+    return 0
+
+
+def _cmd_seeds(args: argparse.Namespace) -> int:
+    from repro.datasets.seed_cves import SEED_CVES
+
+    rows = [
+        [
+            seed.cve_id,
+            f"{seed.published:%Y-%m-%d}",
+            seed.events,
+            seed.impact,
+            seed.d_minus_p,
+            seed.x_minus_p,
+            seed.a_minus_p,
+        ]
+        for seed in SEED_CVES
+    ]
+    print(render_table(
+        ["CVE", "P", "events", "CVSS", "D - P", "X - P", "A - P"],
+        rows,
+        title="Appendix E (encoded seed table)",
+    ))
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    from repro.core.histories import (
+        HOUSEHOLDER_SPRING_MODEL,
+        THIS_WORK_MODEL,
+        baseline_frequencies,
+    )
+    from repro.core.skill import PAPER_BASELINES
+
+    hs = baseline_frequencies(HOUSEHOLDER_SPRING_MODEL)
+    tw = baseline_frequencies(THIS_WORK_MODEL)
+    rows = []
+    for desid, hs_value in hs.items():
+        rows.append([
+            desid.label,
+            f"{PAPER_BASELINES[desid.label]:.3f}",
+            f"{float(hs_value):.3f}",
+            f"{float(tw[desid]):.3f}",
+        ])
+    print(render_table(
+        ["desideratum", "paper (H&S published)", "Markov (H&S prereqs)",
+         "Markov (this-work prereqs)"],
+        rows,
+        title="Luck baselines",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The CVE Wayback Machine' (IMC 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run the full study")
+    _add_study_options(run_parser)
+    run_parser.add_argument("--out", help="directory for exported artifacts")
+    run_parser.set_defaults(func=_cmd_run)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment_parser.add_argument("id", choices=list_experiments())
+    _add_study_options(experiment_parser)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    report_parser = subparsers.add_parser(
+        "report", help="per-CVE lifecycle dossier"
+    )
+    report_parser.add_argument("cve", help="CVE id (e.g. CVE-2021-44228)")
+    _add_study_options(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="dump the generated Snort ruleset"
+    )
+    rules_parser.add_argument(
+        "--no-fp", action="store_true",
+        help="omit the deliberate false-positive signatures",
+    )
+    rules_parser.add_argument(
+        "--lint", action="store_true",
+        help="lint the ruleset instead of printing it",
+    )
+    rules_parser.set_defaults(func=_cmd_rules)
+
+    seeds_parser = subparsers.add_parser(
+        "seeds", help="print the Appendix E seed table"
+    )
+    seeds_parser.set_defaults(func=_cmd_seeds)
+
+    baselines_parser = subparsers.add_parser(
+        "baselines", help="paper vs computed luck baselines"
+    )
+    baselines_parser.set_defaults(func=_cmd_baselines)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The paper's analytical core: the CERT (Householder–Spring) model of CVD
+and the paper's two refinements of it.
+
+* :mod:`repro.core.desiderata` — the event-ordering desiderata (Table 3).
+* :mod:`repro.core.histories` — admissible event histories under a
+  uniform-transition Markov process, and the exact baseline probability of
+  each desideratum being satisfied by luck.
+* :mod:`repro.core.skill` — the skill statistic
+  ``a_d = (f_obs − f_d) / (1 − f_d)`` over measured timelines (Table 4).
+* :mod:`repro.core.perevent` — per-exploit-event satisfaction (Table 5),
+  the paper's exposure-weighted refinement.
+* :mod:`repro.core.windows` — windows of vulnerability: time-difference
+  CDFs between events (Figure 5, Appendix D).
+* :mod:`repro.core.hypothetical` — the Finding 7 counterfactual (include
+  IDS vendors in disclosure).
+* :mod:`repro.core.exposure` — mitigated vs unmitigated exposure over time
+  (Figures 6-7).
+"""
+
+from repro.core.desiderata import (
+    DESIDERATA,
+    Desideratum,
+    OrderingRelation,
+    desiderata_matrix,
+)
+from repro.core.histories import (
+    EventModel,
+    HOUSEHOLDER_SPRING_MODEL,
+    THIS_WORK_MODEL,
+    baseline_frequencies,
+    enumerate_histories,
+    simulate_history,
+)
+from repro.core.skill import SkillReport, compute_skill, skill, skill_table
+from repro.core.perevent import per_event_satisfaction, per_event_table
+from repro.core.windows import delta_series, window_cdf
+from repro.core.hypothetical import ids_vendor_inclusion_experiment
+from repro.core.exposure import (
+    exposure_cdf,
+    mitigated_share,
+    unique_cve_bins,
+)
+from repro.core.bootstrap import BootstrapReport, bootstrap_skill
+from repro.core.autopatch import auto_patch_outcome, auto_patch_sweep
+from repro.core.adoption import (
+    AdoptionCurve,
+    DEFAULT_ADOPTION,
+    IMMEDIATE_ADOPTION,
+    expected_exposure,
+)
+from repro.core.mpcvd import (
+    MpcvdCase,
+    MultiPartyModel,
+    generate_mpcvd_cases,
+    summarise_cases,
+)
+
+__all__ = [
+    "DESIDERATA",
+    "Desideratum",
+    "OrderingRelation",
+    "desiderata_matrix",
+    "EventModel",
+    "HOUSEHOLDER_SPRING_MODEL",
+    "THIS_WORK_MODEL",
+    "baseline_frequencies",
+    "enumerate_histories",
+    "simulate_history",
+    "SkillReport",
+    "compute_skill",
+    "skill",
+    "skill_table",
+    "per_event_satisfaction",
+    "per_event_table",
+    "delta_series",
+    "window_cdf",
+    "ids_vendor_inclusion_experiment",
+    "exposure_cdf",
+    "mitigated_share",
+    "unique_cve_bins",
+    "BootstrapReport",
+    "bootstrap_skill",
+    "auto_patch_outcome",
+    "auto_patch_sweep",
+    "AdoptionCurve",
+    "DEFAULT_ADOPTION",
+    "IMMEDIATE_ADOPTION",
+    "expected_exposure",
+    "MpcvdCase",
+    "MultiPartyModel",
+    "generate_mpcvd_cases",
+    "summarise_cases",
+]

@@ -1,0 +1,131 @@
+"""Gradual fix adoption: relaxing the point-in-time D assumption.
+
+The study models D as a single instant (immediate IDS-rule installation),
+but Section 6.2 concedes this "is often far from true in practice: users
+install patches on a delayed timescale".  This module models deployment as
+an *adoption curve* — the fraction of the vulnerable population protected t
+days after the fix ships — and re-scores exposure as an expectation: an
+exploit event arriving when 40% of deployments are patched compromises, in
+expectation, 60% of a target population.
+
+The exponential curve is the standard patch-adoption shape from the update
+literature (a fast-patching cohort plus a long unpatched tail); the step
+curve recovers the paper's immediate-installation assumption exactly, which
+makes the comparison between the two the quantitative answer to the
+paper's open question (3): how do deployment delays affect vulnerable
+systems?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.lifecycle.events import CveTimeline, D
+from repro.lifecycle.exploit_events import ExploitEvent
+from repro.util.timeutil import to_days
+
+
+@dataclass(frozen=True)
+class AdoptionCurve:
+    """Deployed fraction as a function of days since fix availability.
+
+    ``half_life_days`` is the time for half the eventually-patching
+    population to deploy; ``ceiling`` is the fraction that ever patches
+    (legacy installs never do — the long tails of Figures 4 and 12).
+    ``half_life_days=0`` degenerates to the paper's step function.
+    """
+
+    half_life_days: float = 14.0
+    ceiling: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.half_life_days < 0:
+            raise ValueError("half-life cannot be negative")
+        if not 0.0 < self.ceiling <= 1.0:
+            raise ValueError("ceiling must be in (0, 1]")
+
+    def deployed_fraction(self, days_since_fix: float) -> float:
+        """Fraction of the population protected at an offset from F/D.
+
+        Zero before the fix exists; exponential saturation after.
+        """
+        if days_since_fix < 0:
+            return 0.0
+        if self.half_life_days == 0:
+            return self.ceiling
+        rate = math.log(2.0) / self.half_life_days
+        return self.ceiling * (1.0 - math.exp(-rate * days_since_fix))
+
+
+#: The paper's assumption: everyone protected the moment the rule ships.
+IMMEDIATE_ADOPTION = AdoptionCurve(half_life_days=0.0, ceiling=1.0)
+
+#: A realistic enterprise patching profile.
+DEFAULT_ADOPTION = AdoptionCurve()
+
+
+@dataclass(frozen=True)
+class ExpectedExposure:
+    """Population-weighted exposure under an adoption curve."""
+
+    events: int
+    expected_compromises: float
+    point_model_compromises: int
+
+    @property
+    def expected_share(self) -> float:
+        """Expected compromised-population fraction per event."""
+        if self.events == 0:
+            raise ValueError("no events")
+        return self.expected_compromises / self.events
+
+    @property
+    def underestimate_factor(self) -> float:
+        """How much the point-in-time D model understates exposure.
+
+        The point model counts only pre-D events as compromises; gradual
+        adoption leaks exposure after D too.
+        """
+        if self.point_model_compromises == 0:
+            return float("inf") if self.expected_compromises > 0 else 1.0
+        return self.expected_compromises / self.point_model_compromises
+
+
+def expected_exposure(
+    events: Sequence[ExploitEvent],
+    timelines: Mapping[str, CveTimeline],
+    *,
+    curve: AdoptionCurve = DEFAULT_ADOPTION,
+) -> ExpectedExposure:
+    """Score exposure as an expectation over the deployment population.
+
+    Each event contributes ``1 − deployed_fraction(t)`` expected
+    compromises, where t is the event's offset from the CVE's fix
+    deployment; events for CVEs with no fix contribute 1 (nothing to
+    deploy).  The point-model count is the study's binary unmitigated
+    count, for comparison.
+    """
+    expected = 0.0
+    point = 0
+    evaluated = 0
+    for event in events:
+        timeline = timelines.get(event.cve_id)
+        if timeline is None:
+            continue
+        evaluated += 1
+        deployed = timeline.time(D)
+        if deployed is None:
+            expected += 1.0
+            point += 1
+            continue
+        days = to_days(event.timestamp - deployed)
+        expected += 1.0 - curve.deployed_fraction(days)
+        if not event.mitigated:
+            point += 1
+    return ExpectedExposure(
+        events=evaluated,
+        expected_compromises=expected,
+        point_model_compromises=point,
+    )

@@ -1,0 +1,133 @@
+"""Event-ordering desiderata (paper Table 3).
+
+A desideratum is an ordered pair of lifecycle events whose ordering is
+desirable — e.g. ``D < A``: fixes deployed before attacks.  Table 3 of the
+paper gives the full pairwise matrix twice: Householder & Spring's original
+(3a) and the study's restricted variant (3b), which adds the orderings the
+collection methodology makes structural (public knowledge implies vendor
+knowledge, public exploits imply public knowledge).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lifecycle.events import A, D, F, LifecycleEvent, P, V, X
+from repro.lifecycle.events import CveTimeline
+
+
+class OrderingRelation(enum.Enum):
+    """How desirable it is for the row event to precede the column event."""
+
+    DESIRED = "d"
+    UNDESIRED = "u"
+    REQUIRED = "r"
+    IMPOSSIBLE = "-"
+
+
+@dataclass(frozen=True)
+class Desideratum:
+    """An ordered event pair whose satisfaction is measured."""
+
+    first: LifecycleEvent
+    second: LifecycleEvent
+
+    @property
+    def label(self) -> str:
+        return f"{self.first.value} < {self.second.value}"
+
+    def satisfied_by(self, timeline: CveTimeline) -> Optional[bool]:
+        """Whether the timeline satisfies this ordering (None if either
+        event is unknown for the CVE)."""
+        return timeline.precedes(self.first, self.second)
+
+
+#: The nine desiderata the paper evaluates (Table 4 rows, in order).
+DESIDERATA: Tuple[Desideratum, ...] = (
+    Desideratum(V, A),
+    Desideratum(F, P),
+    Desideratum(F, X),
+    Desideratum(F, A),
+    Desideratum(D, P),
+    Desideratum(D, X),
+    Desideratum(D, A),
+    Desideratum(P, A),
+    Desideratum(X, A),
+)
+
+
+def desideratum(label: str) -> Desideratum:
+    """Look up a desideratum by its ``"D < A"`` label.
+
+    >>> desideratum("D < A").first.value
+    'D'
+    """
+    for item in DESIDERATA:
+        if item.label == label.replace("<", " < ").replace("  ", " ").strip():
+            return item
+    for item in DESIDERATA:  # tolerate compact "D<A"
+        if item.label.replace(" ", "") == label.replace(" ", ""):
+            return item
+    raise KeyError(label)
+
+
+_EVENT_ORDER = (V, F, D, P, X, A)
+
+#: Table 3a — Householder & Spring.  Rows/columns in V F D P X A order;
+#: cell = relation of "row precedes column".
+_HS_MATRIX = {
+    V: {F: "r", D: "r", P: "d", X: "d", A: "d"},
+    F: {V: "-", D: "r", P: "d", X: "d", A: "d"},
+    D: {V: "-", F: "-", P: "d", X: "d", A: "d"},
+    P: {V: "u", F: "u", D: "u", X: "d", A: "d"},
+    X: {V: "u", F: "u", D: "u", P: "u", A: "d"},
+    A: {V: "u", F: "u", D: "u", P: "u", X: "u"},
+}
+
+#: Table 3b — this work.  The collection methodology forces V ≤ P (public
+#: knowledge implies vendor knowledge) and P ≤ X (public exploits imply
+#: public awareness), so those cells become required/impossible.
+_THIS_WORK_MATRIX = {
+    V: {F: "r", D: "r", P: "r", X: "r", A: "d"},
+    F: {V: "-", D: "r", P: "d", X: "d", A: "d"},
+    D: {V: "-", F: "-", P: "d", X: "d", A: "d"},
+    P: {V: "-", F: "u", D: "u", X: "r", A: "d"},
+    X: {V: "-", F: "u", D: "u", P: "-", A: "d"},
+    A: {V: "u", F: "u", D: "u", P: "u", X: "u"},
+}
+
+
+def desiderata_matrix(which: str = "householder-spring") -> List[List[str]]:
+    """Render Table 3 as rows of cells (header row included).
+
+    ``which`` is ``"householder-spring"`` (3a) or ``"this-work"`` (3b).
+    """
+    source = {
+        "householder-spring": _HS_MATRIX,
+        "this-work": _THIS_WORK_MATRIX,
+    }.get(which)
+    if source is None:
+        raise KeyError(which)
+    header = [""] + [event.value for event in _EVENT_ORDER]
+    rows = [header]
+    for row_event in _EVENT_ORDER:
+        row = [row_event.value]
+        for col_event in _EVENT_ORDER:
+            if row_event is col_event:
+                row.append("-")
+            else:
+                row.append(source[row_event].get(col_event, "-"))
+        rows.append(row)
+    return rows
+
+
+def relation(
+    first: LifecycleEvent, second: LifecycleEvent, which: str = "householder-spring"
+) -> OrderingRelation:
+    """The Table 3 relation for "first precedes second"."""
+    matrix = _HS_MATRIX if which == "householder-spring" else _THIS_WORK_MATRIX
+    if first is second:
+        raise ValueError("relation of an event with itself is undefined")
+    return OrderingRelation(matrix[first].get(second, "-"))

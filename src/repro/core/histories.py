@@ -1,0 +1,140 @@
+"""Admissible event histories and luck baselines.
+
+Householder & Spring model a CVE's history as a Markov process: starting
+from no events, at each step one of the *currently possible* events occurs,
+chosen uniformly.  An event is possible when its prerequisites have
+occurred — in their model a fix cannot be ready before the vendor knows
+(V ≺ F) and cannot be deployed before it is ready (F ≺ D); all other events
+can occur at any time.
+
+Under that process each admissible complete ordering ("history") has a
+well-defined probability (histories are *not* equally likely: early steps
+have fewer options), and the probability that a desideratum is satisfied by
+pure luck is the summed probability of the histories that satisfy it.
+These are the paper's Table 4 "Baseline" column values — e.g. ``D < P``
+has baseline 0.037, not 0.25, because D needs V and F to have occurred
+first.  :func:`baseline_frequencies` computes them exactly.
+
+The paper's restricted model (Table 3b) adds P ≺ X and V ≺ P as structural,
+which :data:`THIS_WORK_MODEL` encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.desiderata import DESIDERATA, Desideratum
+from repro.lifecycle.events import A, D, F, LifecycleEvent, P, V, X
+
+
+@dataclass(frozen=True)
+class EventModel:
+    """Event prerequisites defining which histories are admissible."""
+
+    name: str
+    prerequisites: Mapping[LifecycleEvent, FrozenSet[LifecycleEvent]]
+
+    def possible_next(
+        self, occurred: FrozenSet[LifecycleEvent]
+    ) -> Tuple[LifecycleEvent, ...]:
+        """Events that may occur next given what has already occurred."""
+        return tuple(
+            event
+            for event in LifecycleEvent
+            if event not in occurred
+            and self.prerequisites.get(event, frozenset()) <= occurred
+        )
+
+    def is_admissible(self, history: Sequence[LifecycleEvent]) -> bool:
+        """Whether a complete ordering respects all prerequisites."""
+        seen: set = set()
+        for event in history:
+            if not self.prerequisites.get(event, frozenset()) <= seen:
+                return False
+            seen.add(event)
+        return len(seen) == len(LifecycleEvent)
+
+
+HOUSEHOLDER_SPRING_MODEL = EventModel(
+    name="householder-spring",
+    prerequisites={
+        F: frozenset({V}),
+        D: frozenset({F}),
+    },
+)
+
+THIS_WORK_MODEL = EventModel(
+    name="this-work",
+    prerequisites={
+        F: frozenset({V}),
+        D: frozenset({F}),
+        P: frozenset({V}),
+        X: frozenset({P}),
+    },
+)
+
+
+def enumerate_histories(
+    model: EventModel = HOUSEHOLDER_SPRING_MODEL,
+) -> List[Tuple[Tuple[LifecycleEvent, ...], Fraction]]:
+    """All admissible histories with their exact Markov probabilities.
+
+    The probability of a history is the product over its steps of
+    1 / (number of events possible at that step).  Probabilities sum to 1.
+    """
+    results: List[Tuple[Tuple[LifecycleEvent, ...], Fraction]] = []
+
+    def recurse(
+        occurred: FrozenSet[LifecycleEvent],
+        prefix: Tuple[LifecycleEvent, ...],
+        probability: Fraction,
+    ) -> None:
+        if len(prefix) == len(LifecycleEvent):
+            results.append((prefix, probability))
+            return
+        choices = model.possible_next(occurred)
+        step = Fraction(1, len(choices))
+        for event in choices:
+            recurse(occurred | {event}, prefix + (event,), probability * step)
+
+    recurse(frozenset(), (), Fraction(1))
+    return results
+
+
+def baseline_frequencies(
+    model: EventModel = HOUSEHOLDER_SPRING_MODEL,
+) -> Dict[Desideratum, Fraction]:
+    """Exact luck baseline f_d for each desideratum under the model.
+
+    Under the Householder–Spring model these reproduce the paper's Table 4
+    baseline column: V<A 3/4, F<P ≈0.11, F<X 1/3, F<A ≈0.38, D<P ≈0.037,
+    D<X 1/6, D<A ≈0.19, P<A 2/3, X<A 1/2.
+    """
+    histories = enumerate_histories(model)
+    baselines: Dict[Desideratum, Fraction] = {}
+    for desideratum in DESIDERATA:
+        total = Fraction(0)
+        for history, probability in histories:
+            if history.index(desideratum.first) < history.index(desideratum.second):
+                total += probability
+        baselines[desideratum] = total
+    return baselines
+
+
+def simulate_history(
+    rng: np.random.Generator, model: EventModel = HOUSEHOLDER_SPRING_MODEL
+) -> Tuple[LifecycleEvent, ...]:
+    """Draw one history from the Markov process (for property tests and
+    Monte-Carlo validation of the exact baselines)."""
+    occurred: FrozenSet[LifecycleEvent] = frozenset()
+    history: List[LifecycleEvent] = []
+    while len(history) < len(LifecycleEvent):
+        choices = model.possible_next(occurred)
+        event = choices[int(rng.integers(0, len(choices)))]
+        history.append(event)
+        occurred = occurred | {event}
+    return tuple(history)

@@ -1,0 +1,107 @@
+"""The Finding 7 counterfactual: include IDS vendors in disclosure.
+
+Finding 6 observes that IDS fixes usually land within days *after* public
+disclosure — evidence the IDS vendor reacted to publication rather than
+being privately pre-briefed.  The paper's experiment: for every CVE whose
+IDS mitigation arrived within 30 days after announcement, move the
+deployment date back to the announcement (rules shipped alongside the
+advisory, as actually happens when IDS vendors are included in coordinated
+disclosure).  Re-evaluating D < A under the shifted timelines yields the
+paper's headline improvement (satisfaction 0.54 → 0.65, skill +32%).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from datetime import timedelta
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.desiderata import Desideratum
+from repro.core.skill import PAPER_BASELINES, skill
+from repro.lifecycle.events import A, CveTimeline, D, F, P
+
+
+@dataclass(frozen=True)
+class HypotheticalResult:
+    """Before/after comparison for the D < A desideratum."""
+
+    satisfied_before: float
+    satisfied_after: float
+    skill_before: float
+    skill_after: float
+    cves_shifted: int
+    cves_evaluated: int
+
+    @property
+    def skill_improvement(self) -> float:
+        """Relative skill improvement (paper reports +32%)."""
+        if self.skill_before == 0:
+            raise ValueError("baseline skill is zero; improvement undefined")
+        return (self.skill_after - self.skill_before) / abs(self.skill_before)
+
+
+def shift_timelines(
+    timelines: Mapping[str, CveTimeline],
+    *,
+    inclusion_window: timedelta = timedelta(days=30),
+) -> "tuple[Dict[str, CveTimeline], int]":
+    """Apply the IDS-vendor-inclusion shift.
+
+    CVEs with 0 <= (D − P) <= window get D (and F, which the study derives
+    from the same rule availability) snapped back to P.  CVEs whose rules
+    already preceded publication, or trailed by more than the window, are
+    untouched.  Returns (shifted timelines, number of CVEs shifted).
+    """
+    shifted: Dict[str, CveTimeline] = {}
+    count = 0
+    for cve_id, timeline in timelines.items():
+        clone = CveTimeline(cve_id=cve_id, times=dict(timeline.times))
+        deployed, published = clone.time(D), clone.time(P)
+        if deployed is not None and published is not None:
+            lag = deployed - published
+            if timedelta(0) <= lag <= inclusion_window:
+                clone.set(D, published)
+                clone.set(F, published)
+                count += 1
+        shifted[cve_id] = clone
+    return shifted, count
+
+
+def ids_vendor_inclusion_experiment(
+    timelines: Mapping[str, CveTimeline],
+    *,
+    inclusion_window: timedelta = timedelta(days=30),
+    baseline: Optional[float] = None,
+) -> HypotheticalResult:
+    """Run the Finding 7 experiment on a set of timelines."""
+    target = Desideratum(D, A)
+    resolved_baseline = (
+        baseline if baseline is not None else PAPER_BASELINES["D < A"]
+    )
+
+    def satisfaction(lines: Mapping[str, CveTimeline]) -> float:
+        outcomes = [
+            target.satisfied_by(timeline)
+            for timeline in lines.values()
+        ]
+        known = [outcome for outcome in outcomes if outcome is not None]
+        if not known:
+            raise ValueError("no CVEs evaluable for D < A")
+        return sum(known) / len(known)
+
+    before = satisfaction(timelines)
+    shifted, shifted_count = shift_timelines(timelines, inclusion_window=inclusion_window)
+    after = satisfaction(shifted)
+    evaluated = sum(
+        1 for timeline in timelines.values()
+        if target.satisfied_by(timeline) is not None
+    )
+    return HypotheticalResult(
+        satisfied_before=before,
+        satisfied_after=after,
+        skill_before=skill(before, resolved_baseline),
+        skill_after=skill(after, resolved_baseline),
+        cves_shifted=shifted_count,
+        cves_evaluated=evaluated,
+    )

@@ -1,0 +1,346 @@
+"""Multi-party coordinated vulnerability disclosure (MPCVD).
+
+The CERT model the paper applies is the single-vendor special case of
+Householder & Spring's multi-party model [19]: real disclosures involve a
+software vendor, IDS vendors, downstream distributors, coordinators — each
+with their *own* vendor-awareness (V_i), fix-ready (F_i) and fix-deployed
+(D_i) events against the shared public (P), exploit-public (X) and attack
+(A) events.  The paper's Finding 6 (IDS vendors usually excluded from
+pre-publication coordination) is inherently a multi-party observation.
+
+This module provides:
+
+* :class:`MpcvdCase` — a multi-party lifecycle with per-party events and
+  coordination metrics (how synchronised were the parties' fixes? did every
+  party have a fix before publication?);
+* :func:`generate_mpcvd_cases` — expand the study's single-vendor timelines
+  into multi-party cases: the software vendor carries the measured events,
+  the IDS vendor carries the measured rule dates, and optional extra
+  parties draw notification/development lags;
+* :class:`MultiPartyModel` — the generic admissible-history machinery over
+  arbitrary event names with per-party causal chains (V_i ≺ F_i ≺ D_i),
+  with exact enumeration for small party counts and Monte-Carlo baselines
+  for larger ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lifecycle.events import A, CveTimeline, D, F, P, V, X
+from repro.util.rng import derive_rng
+
+# -- multi-party cases --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartyEvents:
+    """One participant's V/F/D timestamps (any may be unknown)."""
+
+    vendor_aware: Optional[datetime] = None
+    fix_ready: Optional[datetime] = None
+    fix_deployed: Optional[datetime] = None
+
+
+@dataclass
+class MpcvdCase:
+    """A multi-party lifecycle for one vulnerability."""
+
+    cve_id: str
+    parties: Dict[str, PartyEvents]
+    public: Optional[datetime] = None
+    exploit_public: Optional[datetime] = None
+    first_attack: Optional[datetime] = None
+
+    @property
+    def party_count(self) -> int:
+        return len(self.parties)
+
+    def _known_fixes(self) -> List[datetime]:
+        return [
+            events.fix_ready
+            for events in self.parties.values()
+            if events.fix_ready is not None
+        ]
+
+    def aware_before_public_rate(self) -> Optional[float]:
+        """Fraction of parties aware before publication."""
+        if self.public is None or not self.parties:
+            return None
+        known = [
+            events.vendor_aware
+            for events in self.parties.values()
+            if events.vendor_aware is not None
+        ]
+        if not known:
+            return None
+        return sum(1 for when in known if when < self.public) / len(known)
+
+    def fix_before_public_rate(self) -> Optional[float]:
+        """Fraction of parties with a fix ready before publication."""
+        if self.public is None:
+            return None
+        fixes = self._known_fixes()
+        if not fixes:
+            return None
+        return sum(1 for when in fixes if when < self.public) / len(fixes)
+
+    def fully_coordinated(self) -> Optional[bool]:
+        """Whether *every* party had a fix before publication — the MPCVD
+        ideal of synchronised disclosure."""
+        rate = self.fix_before_public_rate()
+        if rate is None:
+            return None
+        return rate == 1.0 and len(self._known_fixes()) == self.party_count
+
+    def fix_spread(self) -> Optional[timedelta]:
+        """Gap between the first and last party's fix — smaller is more
+        synchronised."""
+        fixes = self._known_fixes()
+        if len(fixes) < 2:
+            return None
+        return max(fixes) - min(fixes)
+
+
+@dataclass(frozen=True)
+class MpcvdSummary:
+    """Aggregates over a set of multi-party cases."""
+
+    cases: int
+    mean_aware_before_public: float
+    mean_fix_before_public: float
+    fully_coordinated_rate: float
+    median_fix_spread_days: Optional[float]
+
+
+def summarise_cases(cases: Sequence[MpcvdCase]) -> MpcvdSummary:
+    """Aggregate coordination metrics over cases with evaluable data."""
+    aware = [c.aware_before_public_rate() for c in cases]
+    aware = [value for value in aware if value is not None]
+    fixes = [c.fix_before_public_rate() for c in cases]
+    fixes = [value for value in fixes if value is not None]
+    coordinated = [c.fully_coordinated() for c in cases]
+    coordinated = [value for value in coordinated if value is not None]
+    spreads = [c.fix_spread() for c in cases]
+    spreads_days = sorted(
+        s.total_seconds() / 86400.0 for s in spreads if s is not None
+    )
+    if not aware or not fixes or not coordinated:
+        raise ValueError("no evaluable multi-party cases")
+    return MpcvdSummary(
+        cases=len(cases),
+        mean_aware_before_public=sum(aware) / len(aware),
+        mean_fix_before_public=sum(fixes) / len(fixes),
+        fully_coordinated_rate=sum(coordinated) / len(coordinated),
+        median_fix_spread_days=(
+            spreads_days[len(spreads_days) // 2] if spreads_days else None
+        ),
+    )
+
+
+def generate_mpcvd_cases(
+    timelines: Mapping[str, CveTimeline],
+    *,
+    seed: int = 20230321,
+    extra_parties: Sequence[str] = ("downstream-distributor",),
+    notification_lag_median_days: float = 14.0,
+    development_median_days: float = 21.0,
+) -> List[MpcvdCase]:
+    """Expand single-vendor timelines into multi-party cases.
+
+    * ``software-vendor`` carries the timeline's measured V, with a fix at
+      the earlier of publication and the measured F (vendors usually patch
+      by their own advisory even when no IDS rule exists yet);
+    * ``ids-vendor`` carries the measured F/D (the rule dates) and becomes
+      aware at min(F, P) (Finding 6: IDS vendors typically react to
+      publication unless the rule predates it);
+    * each extra party is notified ``lag`` after the software vendor and
+      develops a fix over a drawn development time — the unsynchronised
+      long tail real MPCVD coordinators fight.
+    """
+    cases: List[MpcvdCase] = []
+    for cve_id, timeline in sorted(timelines.items()):
+        rng = derive_rng(seed, "mpcvd", cve_id)
+        published = timeline.time(P)
+        vendor_aware = timeline.time(V)
+        fix = timeline.time(F)
+
+        parties: Dict[str, PartyEvents] = {}
+        vendor_fix = None
+        if published is not None:
+            vendor_fix = published if fix is None else min(fix, published)
+        parties["software-vendor"] = PartyEvents(
+            vendor_aware=vendor_aware,
+            fix_ready=vendor_fix,
+            fix_deployed=vendor_fix,
+        )
+        ids_aware = None
+        if fix is not None and published is not None:
+            ids_aware = min(fix, published)
+        elif published is not None:
+            ids_aware = published
+        parties["ids-vendor"] = PartyEvents(
+            vendor_aware=ids_aware,
+            fix_ready=fix,
+            fix_deployed=timeline.time(D),
+        )
+        for party in extra_parties:
+            if vendor_aware is None:
+                parties[party] = PartyEvents()
+                continue
+            lag = timedelta(
+                days=float(rng.lognormal(np.log(notification_lag_median_days), 0.7))
+            )
+            development = timedelta(
+                days=float(rng.lognormal(np.log(development_median_days), 0.7))
+            )
+            notified = vendor_aware + lag
+            parties[party] = PartyEvents(
+                vendor_aware=notified,
+                fix_ready=notified + development,
+                fix_deployed=notified + development,
+            )
+        cases.append(
+            MpcvdCase(
+                cve_id=cve_id,
+                parties=parties,
+                public=published,
+                exploit_public=timeline.time(X),
+                first_attack=timeline.time(A),
+            )
+        )
+    return cases
+
+
+# -- generic multi-party luck baselines ----------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiPartyModel:
+    """Admissible-history model over arbitrary named events.
+
+    ``prerequisites`` maps event -> events that must precede it.  For an
+    N-party MPCVD model use events ``V0,F0,D0,...,P,X,A`` with per-party
+    chains V_i ≺ F_i ≺ D_i.
+    """
+
+    events: Tuple[str, ...]
+    prerequisites: Mapping[str, FrozenSet[str]]
+
+    @classmethod
+    def mpcvd(cls, party_count: int) -> "MultiPartyModel":
+        """The N-party MPCVD model."""
+        if party_count <= 0:
+            raise ValueError("need at least one party")
+        events: List[str] = []
+        prerequisites: Dict[str, FrozenSet[str]] = {}
+        for index in range(party_count):
+            v, f, d = f"V{index}", f"F{index}", f"D{index}"
+            events.extend([v, f, d])
+            prerequisites[f] = frozenset({v})
+            prerequisites[d] = frozenset({f})
+        events.extend(["P", "X", "A"])
+        return cls(events=tuple(events), prerequisites=prerequisites)
+
+    def possible_next(self, occurred: FrozenSet[str]) -> Tuple[str, ...]:
+        return tuple(
+            event
+            for event in self.events
+            if event not in occurred
+            and self.prerequisites.get(event, frozenset()) <= occurred
+        )
+
+    def baseline_probability_exact(self, first: str, second: str) -> Fraction:
+        """Exact Markov probability that ``first`` precedes ``second``.
+
+        Dynamic programming over occurred-sets; feasible up to ~2 parties
+        (9 events, 512 states).  Use the Monte-Carlo variant beyond that.
+        """
+        if len(self.events) > 12:
+            raise ValueError(
+                "exact enumeration is infeasible beyond 12 events; "
+                "use baseline_probability_mc"
+            )
+        cache: Dict[FrozenSet[str], Fraction] = {}
+
+        def probability(occurred: FrozenSet[str]) -> Fraction:
+            # P(first precedes second | current state), given neither has
+            # occurred yet.
+            if occurred in cache:
+                return cache[occurred]
+            choices = self.possible_next(occurred)
+            step = Fraction(1, len(choices))
+            total = Fraction(0)
+            for event in choices:
+                if event == first:
+                    total += step
+                elif event == second:
+                    continue
+                else:
+                    total += step * probability(occurred | {event})
+            cache[occurred] = total
+            return total
+
+        return probability(frozenset())
+
+    def simulate(self, rng: np.random.Generator) -> Tuple[str, ...]:
+        """Draw one complete admissible history from the Markov process."""
+        occurred: set = set()
+        history: List[str] = []
+        while len(history) < len(self.events):
+            choices = self.possible_next(frozenset(occurred))
+            event = choices[int(rng.integers(0, len(choices)))]
+            history.append(event)
+            occurred.add(event)
+        return tuple(history)
+
+    def baseline_probability_mc(
+        self,
+        first: str,
+        second: str,
+        *,
+        samples: int = 20000,
+        seed: int = 20230321,
+    ) -> float:
+        """Monte-Carlo estimate of P(first precedes second)."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        rng = derive_rng(seed, "mpcvd-mc", first, second, len(self.events))
+        hits = 0
+        for _ in range(samples):
+            history = self.simulate(rng)
+            if history.index(first) < history.index(second):
+                hits += 1
+        return hits / samples
+
+    def predicate_probability_mc(
+        self,
+        predicate,
+        *,
+        samples: int = 20000,
+        seed: int = 20230321,
+    ) -> float:
+        """Monte-Carlo estimate of P(predicate(history)) for an arbitrary
+        history predicate — e.g. the joint MPCVD ideal that *every* party's
+        fix precedes publication, which no pairwise baseline captures."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        rng = derive_rng(seed, "mpcvd-mc-predicate", len(self.events))
+        hits = 0
+        for _ in range(samples):
+            if predicate(self.simulate(rng)):
+                hits += 1
+        return hits / samples
+
+    def all_fixes_before_public(self, history: Sequence[str]) -> bool:
+        """The joint MPCVD desideratum: every party's F precedes P."""
+        public_index = list(history).index("P")
+        for event in self.events:
+            if event.startswith("F") and list(history).index(event) > public_index:
+                return False
+        return True

@@ -1,0 +1,83 @@
+"""Per-event desideratum satisfaction (paper Section 6.2, Table 5).
+
+The per-CVE analysis treats each lifecycle event as a point in time, but
+exposure is proportional to *traffic*: a CVE attacked once before its fix
+and ten thousand times after is well-defended in practice.  Here each
+exploit event is scored individually — the event's own timestamp stands in
+for A, while V, F, P, D, X come from the CVE's timeline — and desiderata
+rates are computed over events rather than CVEs.
+
+This is how the paper finds D < A effective 95% of the time against 56%
+per-CVE (Finding 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.desiderata import DESIDERATA, Desideratum
+from repro.core.skill import PAPER_BASELINES, SkillReport
+from repro.lifecycle.events import A, CveTimeline, LifecycleEvent
+from repro.lifecycle.exploit_events import ExploitEvent
+
+
+def per_event_satisfaction(
+    events: Iterable[ExploitEvent],
+    timelines: Mapping[str, CveTimeline],
+    *,
+    baselines: Optional[Mapping[str, float]] = None,
+) -> List[SkillReport]:
+    """Evaluate desiderata per exploit event (Table 5).
+
+    For desiderata of the form ``E < A`` the event's timestamp is the A
+    instance; desiderata not involving A (``F < P`` etc.) are constant per
+    CVE and weighted by that CVE's event count, matching the paper's
+    per-event aggregation.
+    """
+    resolved = dict(baselines) if baselines is not None else dict(PAPER_BASELINES)
+    counts: Dict[str, List[int]] = {
+        desideratum.label: [0, 0] for desideratum in DESIDERATA
+    }
+    for event in events:
+        timeline = timelines.get(event.cve_id)
+        if timeline is None:
+            continue
+        for desideratum in DESIDERATA:
+            if desideratum.second is A:
+                other = timeline.time(desideratum.first)
+                if other is None:
+                    continue
+                outcome = other < event.timestamp
+            else:
+                cve_outcome = desideratum.satisfied_by(timeline)
+                if cve_outcome is None:
+                    continue
+                outcome = cve_outcome
+            bucket = counts[desideratum.label]
+            bucket[1] += 1
+            bucket[0] += int(outcome)
+    return [
+        SkillReport(
+            desideratum=desideratum,
+            satisfied=counts[desideratum.label][0],
+            evaluated=counts[desideratum.label][1],
+            baseline=resolved[desideratum.label],
+        )
+        for desideratum in DESIDERATA
+    ]
+
+
+def per_event_table(reports: Iterable[SkillReport]) -> List[List[object]]:
+    """Rows in the paper's Table 5 layout."""
+    rows: List[List[object]] = []
+    for report in reports:
+        observed = report.observed
+        rows.append(
+            [
+                report.desideratum.label,
+                "~1.00" if observed > 0.995 else round(observed, 2),
+                round(report.baseline, 2 if report.baseline >= 0.05 else 3),
+                round(report.skill, 2),
+            ]
+        )
+    return rows

@@ -1,0 +1,155 @@
+"""The CVD skill statistic (paper Section 2.2, Table 4).
+
+Skill measures how much better observed disclosure outcomes are than luck:
+
+    a_d = (f_obs − f_d) / (1 − f_d)
+
+where ``f_obs`` is the observed satisfaction frequency of a desideratum over
+measured CVE timelines and ``f_d`` its luck baseline.  Skill is 0 at the
+baseline, 1 at perfect satisfaction, and negative when outcomes are worse
+than luck.
+
+Baselines
+---------
+Table 4's baseline column is transcribed from Householder & Spring [20]
+(:data:`PAPER_BASELINES`), whose derivation enumerates their CVD
+state-transition model.  For model ablations this module can also use the
+exactly computed baselines of :func:`repro.core.histories.baseline_frequencies`
+(uniform-transition Markov over event prerequisites); the two agree on the
+qualitative ordering (D-desiderata are the hardest to satisfy by luck) but
+differ numerically, which EXPERIMENTS.md discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.desiderata import DESIDERATA, Desideratum
+from repro.core.histories import EventModel, baseline_frequencies
+from repro.lifecycle.events import CveTimeline
+
+#: Baseline satisfaction rates as published in prior work [20] and used in
+#: the paper's Table 4.
+PAPER_BASELINES: Dict[str, float] = {
+    "V < A": 0.75,
+    "F < P": 0.11,
+    "F < X": 0.33,
+    "F < A": 0.38,
+    "D < P": 0.037,
+    "D < X": 0.17,
+    "D < A": 0.19,
+    "P < A": 0.67,
+    "X < A": 0.50,
+}
+
+
+def skill(f_obs: float, f_baseline: float) -> float:
+    """The skill statistic a_d.
+
+    >>> round(skill(0.13, 0.037), 6)
+    0.096573
+    >>> skill(1.0, 0.5)
+    1.0
+    >>> skill(0.5, 0.5)
+    0.0
+    """
+    if not 0.0 <= f_obs <= 1.0:
+        raise ValueError(f"observed frequency out of range: {f_obs}")
+    if not 0.0 <= f_baseline < 1.0:
+        raise ValueError(f"baseline frequency out of range: {f_baseline}")
+    return (f_obs - f_baseline) / (1.0 - f_baseline)
+
+
+@dataclass(frozen=True)
+class SkillReport:
+    """One Table 4 row: a desideratum's observed rate, baseline, skill."""
+
+    desideratum: Desideratum
+    satisfied: int
+    evaluated: int
+    baseline: float
+
+    @property
+    def observed(self) -> float:
+        if self.evaluated == 0:
+            raise ValueError(f"no CVEs evaluable for {self.desideratum.label}")
+        return self.satisfied / self.evaluated
+
+    @property
+    def skill(self) -> float:
+        return skill(self.observed, self.baseline)
+
+
+def _resolve_baselines(
+    baselines: Optional[Mapping[str, float]],
+    model: Optional[EventModel],
+) -> Dict[str, float]:
+    if baselines is not None:
+        return dict(baselines)
+    if model is not None:
+        return {
+            desideratum.label: float(frequency)
+            for desideratum, frequency in baseline_frequencies(model).items()
+        }
+    return dict(PAPER_BASELINES)
+
+
+def compute_skill(
+    timelines: Iterable[CveTimeline],
+    *,
+    baselines: Optional[Mapping[str, float]] = None,
+    model: Optional[EventModel] = None,
+) -> List[SkillReport]:
+    """Evaluate all nine desiderata over a set of timelines (Table 4).
+
+    A CVE contributes to a desideratum only when both events are known for
+    it (Appendix E has missing D/X/A cells).  By default the paper's
+    published baselines are used; pass ``model`` to use exactly computed
+    Markov baselines instead, or ``baselines`` to supply custom ones.
+    """
+    resolved = _resolve_baselines(baselines, model)
+    timelines = list(timelines)
+    reports: List[SkillReport] = []
+    for desideratum in DESIDERATA:
+        satisfied = evaluated = 0
+        for timeline in timelines:
+            outcome = desideratum.satisfied_by(timeline)
+            if outcome is None:
+                continue
+            evaluated += 1
+            satisfied += int(outcome)
+        reports.append(
+            SkillReport(
+                desideratum=desideratum,
+                satisfied=satisfied,
+                evaluated=evaluated,
+                baseline=resolved[desideratum.label],
+            )
+        )
+    return reports
+
+
+def mean_skill(reports: Iterable[SkillReport]) -> float:
+    """Mean skill across desiderata (paper reports 0.37 for Table 4)."""
+    reports = list(reports)
+    if not reports:
+        raise ValueError("no skill reports")
+    return sum(report.skill for report in reports) / len(reports)
+
+
+def skill_table(reports: Iterable[SkillReport]) -> List[List[object]]:
+    """Rows in the paper's Table 4 layout (None cells when no CVE was
+    evaluable for a desideratum)."""
+    rows: List[List[object]] = []
+    for report in reports:
+        evaluable = report.evaluated > 0
+        rows.append(
+            [
+                report.desideratum.label,
+                round(report.observed, 2) if evaluable else None,
+                round(report.baseline, 2 if report.baseline >= 0.05 else 3),
+                round(report.skill, 2) if evaluable else None,
+            ]
+        )
+    return rows

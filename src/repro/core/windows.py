@@ -1,0 +1,80 @@
+"""Windows of vulnerability: time differences between lifecycle events.
+
+Section 6.1's refinement: a desideratum's *duration* matters as much as its
+ordering.  When satisfied, the gap is a buffer for defenders; when violated,
+it is a window of vulnerability.  The paper plots the CDF of these gaps for
+each desideratum (Figure 5 and Appendix D Figures 13-18); the CDF's value
+at zero is exactly the desideratum's violation rate, and shifting the CDF
+right models hypothetical process improvements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.lifecycle.events import CveTimeline, LifecycleEvent
+from repro.util.stats import Ecdf
+from repro.util.timeutil import to_days
+
+
+def delta_series(
+    timelines: Iterable[CveTimeline],
+    later: LifecycleEvent,
+    earlier: LifecycleEvent,
+) -> List[float]:
+    """The paper's "later − earlier" gaps in days across CVEs.
+
+    E.g. ``delta_series(timelines, A, D)`` is Figure 5a's "A − D" sample:
+    positive values mean the attack came after deployment (desideratum
+    ``D < A`` satisfied).
+    """
+    gaps: List[float] = []
+    for timeline in timelines:
+        delta = timeline.delta(later, earlier)
+        if delta is not None:
+            gaps.append(to_days(delta))
+    return gaps
+
+
+def window_cdf(
+    timelines: Iterable[CveTimeline],
+    later: LifecycleEvent,
+    earlier: LifecycleEvent,
+) -> Ecdf:
+    """Empirical CDF of the "later − earlier" gap (one paper figure)."""
+    return Ecdf.from_values(delta_series(timelines, later, earlier))
+
+
+def violation_rate(cdf: Ecdf) -> float:
+    """P(gap <= 0): the fraction of CVEs violating the desideratum.
+
+    Reading the CDF at zero is how the figures annotate P(D < A) etc.
+    """
+    return cdf.at(0.0)
+
+
+def shifted_satisfaction(cdf: Ecdf, shift_days: float) -> float:
+    """Desideratum satisfaction if every gap grew by ``shift_days``.
+
+    The paper's "hypothetical desiderata scenarios" reading: shifting the
+    CDF right by x days models the earlier event happening x days sooner.
+    """
+    return 1.0 - cdf.at(-shift_days)
+
+
+def narrow_violations(
+    timelines: Iterable[CveTimeline],
+    later: LifecycleEvent,
+    earlier: LifecycleEvent,
+    *,
+    within_days: float = 30.0,
+) -> Tuple[int, int]:
+    """(violations within the window, total violations).
+
+    Finding 5: most D < A violations are narrow — attacks precede
+    deployment by only a few days.
+    """
+    gaps = delta_series(timelines, later, earlier)
+    violations = [gap for gap in gaps if gap <= 0]
+    narrow = [gap for gap in violations if gap > -within_days]
+    return len(narrow), len(violations)

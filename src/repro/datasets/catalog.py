@@ -1,0 +1,235 @@
+"""Per-CVE metadata catalog: vendor, weakness (CWE), CVE assigner, targeted
+service port, and exploit payload family.
+
+Appendix E gives lifecycle timing; this catalog adds the categorical
+attributes the paper reports in aggregate (Section 4: 40 vendors, 25 CWEs,
+19 assigners, 5 Talos-disclosed CVEs) plus what the traffic generator and
+signature synthesiser need: which service port a scanner would target and
+what shape the exploit payload takes.
+
+Vendor/CWE/assigner values are reconstructed from each CVE's public record;
+they drive *diversity statistics*, not timing, so small attribution errors
+do not affect any lifecycle result.
+
+Vendors are additionally grouped into sophistication categories
+(:data:`VENDOR_CATEGORIES`), supporting the paper's Section 8 discussion of
+vendor sophistication: enterprise software shops and network-appliance
+vendors run mature PSIRTs; IoT/embedded vendors often lack any disclosure
+process, which shows up as slower mitigation availability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class PayloadFamily(enum.Enum):
+    """Shape of the exploit payload, for traffic + signature synthesis."""
+
+    URI_TRAVERSAL = "uri-traversal"
+    URI_COMMAND_INJECTION = "uri-command-injection"
+    BODY_COMMAND_INJECTION = "body-command-injection"
+    HEADER_INJECTION = "header-injection"
+    OGNL_INJECTION = "ognl-injection"
+    SPEL_INJECTION = "spel-injection"
+    TEMPLATE_INJECTION = "template-injection"
+    AUTH_BYPASS_URI = "auth-bypass-uri"
+    SSRF_URI = "ssrf-uri"
+    SQL_INJECTION = "sql-injection"
+    XXE_BODY = "xxe-body"
+    FILE_UPLOAD = "file-upload"
+    XSS_URI = "xss-uri"
+    HARDCODED_CREDENTIALS = "hardcoded-credentials"
+    RAW_OVERFLOW = "raw-overflow"
+    RAW_DOS = "raw-dos"
+    REDIS_EVAL = "redis-eval"
+
+
+@dataclass(frozen=True)
+class CveProfile:
+    """Categorical attributes of one studied CVE."""
+
+    cve_id: str
+    vendor: str
+    cwe: str
+    assigner: str
+    port: int
+    family: PayloadFamily
+
+    @property
+    def talos_disclosed(self) -> bool:
+        """Whether Cisco/Talos originally disclosed the vulnerability."""
+        return self.assigner == "talos"
+
+    @property
+    def category(self) -> str:
+        """Vendor sophistication category (see :data:`VENDOR_CATEGORIES`)."""
+        return VENDOR_CATEGORIES[self.vendor]
+
+
+def _p(cve_id: str, vendor: str, cwe: str, assigner: str, port: int,
+       family: PayloadFamily) -> CveProfile:
+    return CveProfile(
+        cve_id=f"CVE-{cve_id}", vendor=vendor, cwe=cwe, assigner=assigner,
+        port=port, family=family,
+    )
+
+
+_F = PayloadFamily
+
+CVE_PROFILES: Dict[str, CveProfile] = {
+    profile.cve_id: profile
+    for profile in [
+        _p("2021-22893", "Ivanti Pulse Secure", "CWE-416", "hackerone", 443, _F.AUTH_BYPASS_URI),
+        _p("2021-22204", "ExifTool", "CWE-78", "gitlab", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2021-29441", "Alibaba", "CWE-287", "mitre", 8848, _F.AUTH_BYPASS_URI),
+        _p("2021-20090", "Arcadyan", "CWE-22", "jpcert", 80, _F.URI_TRAVERSAL),
+        _p("2021-20091", "Buffalo", "CWE-74", "jpcert", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2021-1497", "Cisco", "CWE-78", "cisco", 443, _F.URI_COMMAND_INJECTION),
+        _p("2021-1498", "Cisco", "CWE-78", "cisco", 443, _F.URI_COMMAND_INJECTION),
+        _p("2021-31755", "Tenda", "CWE-121", "mitre", 80, _F.RAW_OVERFLOW),
+        _p("2021-31166", "Microsoft", "CWE-416", "microsoft", 80, _F.HEADER_INJECTION),
+        _p("2021-31207", "Microsoft", "CWE-434", "microsoft", 443, _F.SSRF_URI),
+        _p("2021-32305", "WebSVN", "CWE-77", "mitre", 80, _F.URI_COMMAND_INJECTION),
+        _p("2021-21985", "VMware", "CWE-20", "vmware", 443, _F.URI_COMMAND_INJECTION),
+        _p("2021-35464", "ForgeRock", "CWE-502", "fortinet", 8080, _F.URI_COMMAND_INJECTION),
+        _p("2021-21799", "Advantech", "CWE-79", "talos", 80, _F.XSS_URI),
+        _p("2021-21801", "Advantech", "CWE-79", "talos", 80, _F.XSS_URI),
+        _p("2021-21816", "Anker", "CWE-200", "talos", 80, _F.AUTH_BYPASS_URI),
+        _p("2021-26085", "Atlassian", "CWE-862", "atlassian", 8090, _F.URI_TRAVERSAL),
+        _p("2021-35395", "Realtek", "CWE-78", "mitre", 80, _F.URI_COMMAND_INJECTION),
+        _p("2021-26084", "Atlassian", "CWE-917", "atlassian", 8090, _F.OGNL_INJECTION),
+        _p("2021-40539", "Zoho", "CWE-287", "mitre", 9251, _F.AUTH_BYPASS_URI),
+        _p("2021-33045", "Dahua", "CWE-287", "dahua", 37777, _F.AUTH_BYPASS_URI),
+        _p("2021-33044", "Dahua", "CWE-287", "dahua", 37777, _F.AUTH_BYPASS_URI),
+        _p("2021-40870", "Aviatrix", "CWE-434", "mitre", 443, _F.FILE_UPLOAD),
+        _p("2021-38647", "Microsoft", "CWE-287", "microsoft", 5986, _F.HEADER_INJECTION),
+        _p("2021-40438", "Apache", "CWE-918", "apache", 80, _F.SSRF_URI),
+        _p("2021-22905", "VMware", "CWE-22", "vmware", 443, _F.FILE_UPLOAD),
+        _p("2021-36260", "Hikvision", "CWE-78", "hikvision", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2021-39226", "Grafana", "CWE-288", "github", 3000, _F.AUTH_BYPASS_URI),
+        _p("2021-41773", "Apache", "CWE-22", "apache", 80, _F.URI_TRAVERSAL),
+        _p("2021-27561", "Yealink", "CWE-918", "mitre", 443, _F.SSRF_URI),
+        _p("2021-20837", "Six Apart", "CWE-78", "jpcert", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2021-40117", "Cisco", "CWE-400", "cisco", 443, _F.RAW_DOS),
+        _p("2021-41653", "TP-Link", "CWE-78", "mitre", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2021-43798", "Grafana", "CWE-22", "github", 3000, _F.URI_TRAVERSAL),
+        _p("2021-44515", "Zoho", "CWE-287", "mitre", 8020, _F.AUTH_BYPASS_URI),
+        _p("2021-20038", "SonicWall", "CWE-787", "sonicwall", 443, _F.RAW_OVERFLOW),
+        _p("2021-44228", "Apache", "CWE-917", "apache", 80, _F.HEADER_INJECTION),
+        _p("2021-45232", "Apache", "CWE-285", "apache", 9000, _F.AUTH_BYPASS_URI),
+        _p("2022-21796", "Moxa", "CWE-787", "talos", 80, _F.RAW_OVERFLOW),
+        _p("2022-21199", "Reolink", "CWE-306", "talos", 80, _F.AUTH_BYPASS_URI),
+        _p("2021-45382", "D-Link", "CWE-78", "mitre", 8080, _F.BODY_COMMAND_INJECTION),
+        _p("2022-0543", "Debian", "CWE-862", "debian", 6379, _F.REDIS_EVAL),
+        _p("2022-22947", "VMware Spring", "CWE-917", "vmware", 8080, _F.SPEL_INJECTION),
+        _p("2022-22963", "VMware Spring", "CWE-917", "vmware", 8080, _F.SPEL_INJECTION),
+        _p("2022-22965", "VMware Spring", "CWE-94", "vmware", 8080, _F.SPEL_INJECTION),
+        _p("2022-28219", "Zoho", "CWE-611", "mitre", 8081, _F.XXE_BODY),
+        _p("2022-22954", "VMware", "CWE-94", "vmware", 443, _F.TEMPLATE_INJECTION),
+        _p("2022-29464", "WSO2", "CWE-22", "mitre", 9443, _F.FILE_UPLOAD),
+        _p("2022-0540", "Atlassian", "CWE-287", "atlassian", 8080, _F.AUTH_BYPASS_URI),
+        _p("2022-27925", "Zimbra", "CWE-22", "zimbra", 443, _F.URI_TRAVERSAL),
+        _p("2022-29499", "Mitel", "CWE-88", "mitre", 443, _F.URI_COMMAND_INJECTION),
+        _p("2022-1388", "F5", "CWE-306", "f5", 443, _F.HEADER_INJECTION),
+        _p("2022-28818", "Adobe", "CWE-79", "adobe", 80, _F.XSS_URI),
+        _p("2022-30525", "Zyxel", "CWE-78", "hackerone", 443, _F.BODY_COMMAND_INJECTION),
+        _p("2022-29583", "NETGEAR", "CWE-89", "mitre", 443, _F.SQL_INJECTION),
+        _p("2022-26258", "D-Link", "CWE-78", "mitre", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2022-28938", "Atlassian", "CWE-917", "atlassian", 8090, _F.OGNL_INJECTION),
+        _p("2022-26134", "Atlassian", "CWE-917", "atlassian", 8090, _F.OGNL_INJECTION),
+        _p("2022-33891", "Apache", "CWE-78", "apache", 8080, _F.URI_COMMAND_INJECTION),
+        _p("2022-26138", "Atlassian", "CWE-798", "atlassian", 8090, _F.HARDCODED_CREDENTIALS),
+        _p("2022-35914", "GLPI", "CWE-74", "mitre", 80, _F.BODY_COMMAND_INJECTION),
+        _p("2022-41040", "Microsoft", "CWE-918", "microsoft", 443, _F.SSRF_URI),
+        _p("2022-40684", "Fortinet", "CWE-306", "fortinet", 443, _F.HEADER_INJECTION),
+        _p("2022-44877", "Control Web Panel", "CWE-78", "mitre", 2031, _F.URI_COMMAND_INJECTION),
+    ]
+}
+
+
+#: Vendor sophistication grouping (paper Section 8: disclosure outcomes
+#: depend on vendor sophistication).
+VENDOR_CATEGORIES: Dict[str, str] = {
+    # Mature software vendors with established PSIRTs.
+    "Microsoft": "enterprise-software",
+    "VMware": "enterprise-software",
+    "VMware Spring": "enterprise-software",
+    "Adobe": "enterprise-software",
+    "Atlassian": "enterprise-software",
+    "Alibaba": "enterprise-software",
+    "Zoho": "enterprise-software",
+    "ForgeRock": "enterprise-software",
+    "Mitel": "enterprise-software",
+    "Zimbra": "enterprise-software",
+    "WSO2": "enterprise-software",
+    "Aviatrix": "enterprise-software",
+    # Network/security appliance vendors.
+    "Cisco": "network-appliance",
+    "F5": "network-appliance",
+    "Fortinet": "network-appliance",
+    "SonicWall": "network-appliance",
+    "Zyxel": "network-appliance",
+    "NETGEAR": "network-appliance",
+    "Ivanti Pulse Secure": "network-appliance",
+    "Yealink": "network-appliance",
+    # Consumer / IoT / embedded device vendors.
+    "Tenda": "iot-embedded",
+    "Arcadyan": "iot-embedded",
+    "Buffalo": "iot-embedded",
+    "D-Link": "iot-embedded",
+    "TP-Link": "iot-embedded",
+    "Realtek": "iot-embedded",
+    "Hikvision": "iot-embedded",
+    "Dahua": "iot-embedded",
+    "Anker": "iot-embedded",
+    "Reolink": "iot-embedded",
+    "Moxa": "iot-embedded",
+    "Advantech": "iot-embedded",
+    # Open-source projects and community software.
+    "Apache": "open-source",
+    "Debian": "open-source",
+    "GLPI": "open-source",
+    "WebSVN": "open-source",
+    "ExifTool": "open-source",
+    "Six Apart": "open-source",
+    "Control Web Panel": "open-source",
+    "Grafana": "open-source",
+}
+
+VENDOR_CATEGORY_KINDS = (
+    "enterprise-software",
+    "network-appliance",
+    "iot-embedded",
+    "open-source",
+)
+
+
+def profile_for(cve_id: str) -> CveProfile:
+    """Catalog entry for a studied CVE; raises KeyError when absent."""
+    return CVE_PROFILES[cve_id]
+
+
+def distinct_vendors() -> List[str]:
+    """Distinct vendors across studied CVEs (paper reports 40)."""
+    return sorted({profile.vendor for profile in CVE_PROFILES.values()})
+
+
+def distinct_cwes() -> List[str]:
+    """Distinct CWEs across studied CVEs (paper reports 25)."""
+    return sorted({profile.cwe for profile in CVE_PROFILES.values()})
+
+
+def distinct_assigners() -> List[str]:
+    """Distinct CVE assigners across studied CVEs (paper reports 19)."""
+    return sorted({profile.assigner for profile in CVE_PROFILES.values()})
+
+
+def talos_disclosed_cves() -> List[str]:
+    """CVEs originally disclosed by Cisco/Talos (paper reports 5)."""
+    return sorted(
+        cve_id for cve_id, profile in CVE_PROFILES.items()
+        if profile.talos_disclosed
+    )

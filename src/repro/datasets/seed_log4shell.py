@@ -1,0 +1,92 @@
+"""Table 6 of the paper: Log4Shell mitigation variants, encoded verbatim.
+
+Each row is one Snort signature (SID) for CVE-2021-44228.  Signatures were
+released in five groups (A-E); ``group_d_minus_p`` is the group's rule
+publication offset from CVE publication (D − P) and ``a_minus_d`` is the
+offset from rule publication to the first attack matching *that* signature.
+
+This table drives the Log4Shell case study (Figures 8 and 9) and the
+Table 6 benchmark: traffic variants and their matching signatures are both
+generated from these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.util.timeutil import Duration, parse_offset
+
+#: CVE id the variants belong to.
+LOG4SHELL_CVE = "CVE-2021-44228"
+
+
+@dataclass(frozen=True)
+class Log4ShellVariant:
+    """One signature row of Table 6."""
+
+    group: str
+    group_d_minus_p: str
+    sid: int
+    a_minus_d: str
+    context: str
+    match: str
+    adaptation: Optional[str]
+
+    @property
+    def rule_offset(self) -> Duration:
+        """Rule publication offset from CVE publication (group D − P)."""
+        return parse_offset(self.group_d_minus_p)
+
+    @property
+    def first_attack_offset(self) -> Duration:
+        """First matching attack offset from rule publication (A − D)."""
+        return parse_offset(self.a_minus_d)
+
+
+def _v(group, d_minus_p, sid, a_minus_d, context, match, adaptation=None):
+    return Log4ShellVariant(
+        group=group,
+        group_d_minus_p=d_minus_p,
+        sid=sid,
+        a_minus_d=a_minus_d,
+        context=context,
+        match=match,
+        adaptation=adaptation,
+    )
+
+
+LOG4SHELL_VARIANTS: List[Log4ShellVariant] = [
+    _v("A", "0d 9h", 58722, "0d 4h", "HTTP URI", "jndi"),
+    _v("A", "0d 9h", 58723, "-0d 6h", "HTTP Header", "jndi"),
+    _v("A", "0d 9h", 58724, "0d 22h", "HTTP Header", "lower"),
+    _v("A", "0d 9h", 58725, "105d 5h", "HTTP URI", "lower"),
+    _v("A", "0d 9h", 58727, "4d 14h", "HTTP Body", "jndi"),
+    _v("A", "0d 9h", 58731, "8d 21h", "HTTP Header", "upper"),
+    _v("B", "0d 17h", 300057, "21d 10h", "HTTP Cookie", "jndi"),
+    _v("B", "0d 17h", 58738, "11d 7h", "HTTP Header", "upper", "Escape sequence for $"),
+    _v("C", "1d 15h", 58739, "8d 12h", "HTTP Header", "lower", "Escape sequence for $"),
+    _v("C", "1d 15h", 58741, "136d 16h", "HTTP Body", "jndi", "Escape sequence for jndi"),
+    _v("C", "1d 15h", 58742, "5d 0h", "HTTP Header", "jndi", "Escape sequence for jndi"),
+    _v("C", "1d 15h", 58744, "4d 19h", "HTTP URI", "jndi", "Escape sequence for jndi"),
+    _v("D", "3d 11h", 300058, "5d 0h", "HTTP Cookie", "jndi", "Escape sequence for jndi"),
+    _v("D", "3d 11h", 58751, "-3d 8h", "SMTP", "jndi/lower/upper", "Extraneous ignored text before jndi"),
+    _v("E", "90d 3h", 59246, "-88d 22h", "HTTP Request Method", "jndi"),
+]
+
+
+def variant_groups() -> List[str]:
+    """Distinct signature groups in release order."""
+    seen: List[str] = []
+    for variant in LOG4SHELL_VARIANTS:
+        if variant.group not in seen:
+            seen.append(variant.group)
+    return seen
+
+
+def variants_in_group(group: str) -> List[Log4ShellVariant]:
+    """All signature rows for one release group."""
+    rows = [v for v in LOG4SHELL_VARIANTS if v.group == group]
+    if not rows:
+        raise KeyError(group)
+    return rows

@@ -1,0 +1,41 @@
+"""Disclosure artifacts — the paper's Section 8.2 proposal, implemented.
+
+The paper argues researchers should publish *disclosure artifacts*:
+machine-readable records of who was told what when (V), fix development
+timelines (F), deployment observations (D), and known exploitation (A), so
+future CVD measurement is not limited to crawling side-channels.
+
+This package defines that schema (:mod:`repro.disclosure.artifacts`), with
+JSON round-tripping and validation, plus adapters
+(:mod:`repro.disclosure.emit`) that emit artifacts from a study run and
+assemble CVE timelines *from* artifacts — demonstrating that the proposed
+format is sufficient to drive the paper's entire analysis pipeline.
+"""
+
+from repro.disclosure.artifacts import (
+    DeploymentObservation,
+    DisclosureArtifact,
+    DisclosureEvent,
+    ExploitationReport,
+    FixRecord,
+    ValidationError,
+)
+from repro.disclosure.emit import (
+    artifacts_from_bundle,
+    load_artifacts,
+    save_artifacts,
+    timelines_from_artifacts,
+)
+
+__all__ = [
+    "DeploymentObservation",
+    "DisclosureArtifact",
+    "DisclosureEvent",
+    "ExploitationReport",
+    "FixRecord",
+    "ValidationError",
+    "artifacts_from_bundle",
+    "load_artifacts",
+    "save_artifacts",
+    "timelines_from_artifacts",
+]

@@ -1,0 +1,272 @@
+"""The disclosure-artifact schema (paper Section 8.2).
+
+One :class:`DisclosureArtifact` per vulnerability records the four data the
+paper identifies as most critical to future CVD characterisation:
+
+* **(V)** disclosure events — when and to whom initial disclosure was made
+  (software vendor, IDS rule vendor, government, coordinator, public);
+* **(F)** fix development — per-party fix timelines and their scope;
+* **(D)** deployment — fine- or coarse-grained observations of fix adoption;
+* **(A)** known exploitation — including retrospective/pre-publication
+  knowledge, which catalogs like KEV cannot represent.
+
+The schema is deliberately JSON-first (``to_dict``/``from_dict`` round-trip
+losslessly) so artifacts can be published alongside advisories, and it
+derives CERT lifecycle events so a timeline can be assembled from artifacts
+alone (see :func:`repro.disclosure.emit.timelines_from_artifacts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+#: Recognised disclosure audiences.
+PARTY_KINDS = (
+    "software-vendor",
+    "ids-vendor",
+    "coordinator",
+    "government",
+    "public",
+)
+
+
+class ValidationError(ValueError):
+    """An artifact violates the schema."""
+
+
+def _parse_time(value: str, context: str) -> datetime:
+    try:
+        return datetime.strptime(value, _TIME_FORMAT)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(f"{context}: bad timestamp {value!r}") from error
+
+
+def _format_time(value: datetime) -> str:
+    return value.strftime(_TIME_FORMAT)
+
+
+@dataclass(frozen=True)
+class DisclosureEvent:
+    """One notification: the vulnerability was disclosed to a party."""
+
+    party_kind: str
+    party: str
+    date: datetime
+
+    def __post_init__(self) -> None:
+        if self.party_kind not in PARTY_KINDS:
+            raise ValidationError(
+                f"unknown party kind {self.party_kind!r}; "
+                f"expected one of {PARTY_KINDS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "party_kind": self.party_kind,
+            "party": self.party,
+            "date": _format_time(self.date),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DisclosureEvent":
+        return cls(
+            party_kind=payload.get("party_kind", ""),
+            party=payload.get("party", ""),
+            date=_parse_time(payload.get("date"), "disclosure event"),
+        )
+
+
+@dataclass(frozen=True)
+class FixRecord:
+    """A fix developed by one party, with its scope."""
+
+    party: str
+    available: datetime
+    scope: str = "full"  # "full" (vendor patch) | "mitigation" (IDS rule...)
+
+    def to_dict(self) -> dict:
+        return {
+            "party": self.party,
+            "available": _format_time(self.available),
+            "scope": self.scope,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FixRecord":
+        return cls(
+            party=payload.get("party", ""),
+            available=_parse_time(payload.get("available"), "fix record"),
+            scope=payload.get("scope", "full"),
+        )
+
+
+@dataclass(frozen=True)
+class DeploymentObservation:
+    """A point observation of fix adoption."""
+
+    date: datetime
+    deployed_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.deployed_fraction <= 1.0:
+            raise ValidationError(
+                f"deployed fraction out of range: {self.deployed_fraction}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "date": _format_time(self.date),
+            "deployed_fraction": self.deployed_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeploymentObservation":
+        return cls(
+            date=_parse_time(payload.get("date"), "deployment observation"),
+            deployed_fraction=float(payload.get("deployed_fraction", -1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ExploitationReport:
+    """Known exploitation, possibly learned retrospectively."""
+
+    date: datetime
+    source: str
+    retrospective: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "date": _format_time(self.date),
+            "source": self.source,
+            "retrospective": self.retrospective,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExploitationReport":
+        return cls(
+            date=_parse_time(payload.get("date"), "exploitation report"),
+            source=payload.get("source", ""),
+            retrospective=bool(payload.get("retrospective", False)),
+        )
+
+
+@dataclass
+class DisclosureArtifact:
+    """The complete disclosure record for one vulnerability."""
+
+    cve_id: str
+    published: Optional[datetime] = None
+    exploit_public: Optional[datetime] = None
+    disclosures: List[DisclosureEvent] = field(default_factory=list)
+    fixes: List[FixRecord] = field(default_factory=list)
+    deployments: List[DeploymentObservation] = field(default_factory=list)
+    exploitation: List[ExploitationReport] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Schema checks beyond per-record validation."""
+        if not self.cve_id.startswith("CVE-"):
+            raise ValidationError(f"malformed CVE id {self.cve_id!r}")
+        if self.published is not None:
+            for event in self.disclosures:
+                if event.party_kind == "public" and event.date > self.published:
+                    raise ValidationError(
+                        "public disclosure event after recorded publication"
+                    )
+        fractions = [
+            (obs.date, obs.deployed_fraction) for obs in self.deployments
+        ]
+        for (d1, f1), (d2, f2) in zip(sorted(fractions), sorted(fractions)[1:]):
+            if f2 < f1:
+                raise ValidationError(
+                    "deployment fraction decreases over time"
+                )
+
+    # -- lifecycle derivation ----------------------------------------------
+
+    def vendor_awareness(self) -> Optional[datetime]:
+        """V: earliest disclosure to any non-public party, falling back to
+        publication (public knowledge implies vendor knowledge)."""
+        candidates = [
+            event.date for event in self.disclosures
+            if event.party_kind != "public"
+        ]
+        if self.published is not None:
+            candidates.append(self.published)
+        return min(candidates) if candidates else None
+
+    def fix_ready(self) -> Optional[datetime]:
+        """F: earliest fix from any party."""
+        if not self.fixes:
+            return None
+        return min(fix.available for fix in self.fixes)
+
+    def fix_deployed(
+        self, *, threshold: float = 0.5
+    ) -> Optional[datetime]:
+        """D: first observation at/above a deployment threshold.
+
+        With a single observation at fraction 1.0 (the study's
+        immediate-rule-installation assumption) this is just that date.
+        """
+        qualifying = sorted(
+            obs.date for obs in self.deployments
+            if obs.deployed_fraction >= threshold
+        )
+        return qualifying[0] if qualifying else None
+
+    def first_exploitation(self) -> Optional[datetime]:
+        """A: earliest known exploitation, retrospective reports included."""
+        if not self.exploitation:
+            return None
+        return min(report.date for report in self.exploitation)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "cve_id": self.cve_id,
+            "published": _format_time(self.published) if self.published else None,
+            "exploit_public": (
+                _format_time(self.exploit_public) if self.exploit_public else None
+            ),
+            "disclosures": [event.to_dict() for event in self.disclosures],
+            "fixes": [fix.to_dict() for fix in self.fixes],
+            "deployments": [obs.to_dict() for obs in self.deployments],
+            "exploitation": [report.to_dict() for report in self.exploitation],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DisclosureArtifact":
+        artifact = cls(
+            cve_id=payload.get("cve_id", ""),
+            published=(
+                _parse_time(payload["published"], "published")
+                if payload.get("published")
+                else None
+            ),
+            exploit_public=(
+                _parse_time(payload["exploit_public"], "exploit_public")
+                if payload.get("exploit_public")
+                else None
+            ),
+            disclosures=[
+                DisclosureEvent.from_dict(item)
+                for item in payload.get("disclosures", [])
+            ],
+            fixes=[FixRecord.from_dict(item) for item in payload.get("fixes", [])],
+            deployments=[
+                DeploymentObservation.from_dict(item)
+                for item in payload.get("deployments", [])
+            ],
+            exploitation=[
+                ExploitationReport.from_dict(item)
+                for item in payload.get("exploitation", [])
+            ],
+        )
+        artifact.validate()
+        return artifact

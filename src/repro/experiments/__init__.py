@@ -1,0 +1,15 @@
+"""Experiment registry: one regeneration function per paper table/figure."""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+]

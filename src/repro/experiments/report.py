@@ -1,0 +1,87 @@
+"""Programmatic EXPERIMENTS report generation.
+
+Writes a paper-vs-measured markdown report for every registered experiment
+from a live study run — the machinery behind the repository's
+EXPERIMENTS.md, re-runnable at any scale/seed so the fidelity claims stay
+verifiable rather than hand-maintained::
+
+    from repro import run_study, StudyConfig
+    from repro.experiments.report import write_markdown_report
+
+    result = run_study(StudyConfig.preset("full"))
+    write_markdown_report(result, "EXPERIMENTS_measured.md")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.analysis.pipeline import StudyResult
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) >= 10:
+        return f"{int(value)}"
+    return f"{value:.3f}"
+
+
+def render_markdown_report(result: StudyResult) -> str:
+    """Render the full paper-vs-measured report as markdown."""
+    lines: List[str] = [
+        "# Measured reproduction report",
+        "",
+        f"Study configuration: volume scale {result.config.volume_scale}, "
+        f"seed {result.config.seed}; {len(result.store):,} captured "
+        f"sessions, {len(result.kept_events):,} exploit events across "
+        f"{len(result.kept_cves)} CVEs "
+        f"(RCA dropped: {', '.join(result.dropped_cves) or 'none'}).",
+        "",
+    ]
+    for experiment_id in list_experiments():
+        report = run_experiment(experiment_id, result)
+        lines.append(f"## {experiment_id} — {report.title}")
+        lines.append("")
+        if report.paper:
+            lines.append("| quantity | paper | measured | deviation |")
+            lines.append("|---|---|---|---|")
+            deviations = report.deviations()
+            for key, paper_value in report.paper.items():
+                measured = report.measured.get(key)
+                measured_text = (
+                    _format_value(measured) if measured is not None else "-"
+                )
+                deviation = deviations.get(key)
+                deviation_text = (
+                    f"{deviation:+.3f}" if deviation is not None else "-"
+                )
+                lines.append(
+                    f"| {key} | {_format_value(paper_value)} | "
+                    f"{measured_text} | {deviation_text} |"
+                )
+            lines.append("")
+        extras = {
+            key: value
+            for key, value in report.measured.items()
+            if key not in report.paper
+        }
+        if extras:
+            lines.append("Additional measured quantities: " + ", ".join(
+                f"{key} = {_format_value(value)}" for key, value in extras.items()
+            ))
+            lines.append("")
+        lines.append("```")
+        lines.append(report.text)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    result: StudyResult, path: Union[str, Path]
+) -> Path:
+    """Write the report; returns the path."""
+    path = Path(path)
+    path.write_text(render_markdown_report(result) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,133 @@
+"""Compact binary archive format for session stores.
+
+The JSONL format (:mod:`repro.net.pcapstore`) is convenient but costs ~4x
+the payload size (base64 plus field names).  Two-year telescope archives
+are pcap-scale (the paper's is 3 TB), so the library also ships a dense
+binary format:
+
+* file header: magic ``DSCP``, format version (u16), record count (u64);
+* per record: a fixed 34-byte header followed by the raw payload bytes.
+
+Record header layout (little-endian)::
+
+    u64 session_id
+    u64 start      (microseconds since Unix epoch)
+    u64 end        (microseconds since Unix epoch; 0 = unknown)
+    u32 src_ip
+    u32 dst_ip
+    u16 src_port
+    u16 dst_port
+    u8  flags      (bit 0: established)
+    u32 payload_length
+
+Writers stream; readers validate the magic/version and record count, and
+fail loudly on truncation rather than yielding partial sessions.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import BinaryIO, Iterator, Union
+
+from repro.net.pcapstore import SessionStore
+from repro.net.session import TcpSession
+
+MAGIC = b"DSCP"
+VERSION = 1
+
+_FILE_HEADER = struct.Struct("<4sHQ")
+_RECORD_HEADER = struct.Struct("<QQQIIHHBI")
+
+_EPOCH = datetime(1970, 1, 1)
+
+
+class BinaryFormatError(ValueError):
+    """The file is not a valid binary session archive."""
+
+
+def _to_micros(when: datetime) -> int:
+    return int((when - _EPOCH) / timedelta(microseconds=1))
+
+
+def _from_micros(value: int) -> datetime:
+    return _EPOCH + timedelta(microseconds=value)
+
+
+def _write_record(handle: BinaryIO, session: TcpSession) -> None:
+    flags = 1 if session.established else 0
+    handle.write(
+        _RECORD_HEADER.pack(
+            session.session_id,
+            _to_micros(session.start),
+            _to_micros(session.end) if session.end is not None else 0,
+            session.src_ip,
+            session.dst_ip,
+            session.src_port,
+            session.dst_port,
+            flags,
+            len(session.payload),
+        )
+    )
+    handle.write(session.payload)
+
+
+def _read_record(handle: BinaryIO) -> TcpSession:
+    header = handle.read(_RECORD_HEADER.size)
+    if len(header) != _RECORD_HEADER.size:
+        raise BinaryFormatError("truncated record header")
+    (
+        session_id, start_us, end_us, src_ip, dst_ip,
+        src_port, dst_port, flags, payload_length,
+    ) = _RECORD_HEADER.unpack(header)
+    payload = handle.read(payload_length)
+    if len(payload) != payload_length:
+        raise BinaryFormatError("truncated payload")
+    return TcpSession(
+        session_id=session_id,
+        start=_from_micros(start_us),
+        end=_from_micros(end_us) if end_us else None,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload=payload,
+        established=bool(flags & 1),
+    )
+
+
+def save_binary(store: SessionStore, path: Union[str, Path]) -> int:
+    """Write a store to the binary format; returns bytes written."""
+    path = Path(path)
+    sessions = list(store)
+    with path.open("wb") as handle:
+        handle.write(_FILE_HEADER.pack(MAGIC, VERSION, len(sessions)))
+        for session in sessions:
+            _write_record(handle, session)
+    return path.stat().st_size
+
+
+def iter_binary(path: Union[str, Path]) -> Iterator[TcpSession]:
+    """Stream sessions from a binary archive (validates header/count)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        header = handle.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise BinaryFormatError("truncated file header")
+        magic, version, count = _FILE_HEADER.unpack(header)
+        if magic != MAGIC:
+            raise BinaryFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise BinaryFormatError(f"unsupported version {version}")
+        for _ in range(count):
+            yield _read_record(handle)
+        if handle.read(1):
+            raise BinaryFormatError("trailing bytes after final record")
+
+
+def load_binary(path: Union[str, Path]) -> SessionStore:
+    """Load a binary archive into a session store."""
+    store = SessionStore()
+    store.extend(iter_binary(path))
+    return store

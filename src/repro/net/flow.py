@@ -1,0 +1,92 @@
+"""Flow assembly: packets -> TCP sessions.
+
+The telescope's capture path is packet-oriented (pcap); analyses are
+session-oriented.  :class:`FlowAssembler` reassembles client-to-telescope
+flows using the :class:`~repro.net.tcp.TcpHandshake` state machine, emitting
+a :class:`~repro.net.session.TcpSession` when a flow closes (or when the
+assembler is flushed at instance teardown).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.session import TcpSession
+from repro.net.tcp import TcpHandshake, TcpProtocolError
+
+
+class FlowAssembler:
+    """Reassemble sessions from a time-ordered client packet stream.
+
+    Only client-originated packets are fed in (the telescope's own replies
+    are synthesised by the handshake model and carry no information).  Data
+    packets are ordered by their ``seq`` field within a flow.
+    """
+
+    def __init__(self) -> None:
+        self._flows: Dict[tuple, TcpHandshake] = {}
+        self._data: Dict[tuple, List[Packet]] = {}
+        self._next_session_id = 0
+        self.protocol_errors = 0
+
+    def _key(self, packet: Packet) -> tuple:
+        return (packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port)
+
+    def feed(self, packet: Packet) -> Iterator[TcpSession]:
+        """Process one packet; yields a session when its flow completes."""
+        key = self._key(packet)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = TcpHandshake(
+                client_ip=packet.src_ip,
+                client_port=packet.src_port,
+                server_ip=packet.dst_ip,
+                server_port=packet.dst_port,
+            )
+            self._flows[key] = flow
+            self._data[key] = []
+        try:
+            flow.receive(packet)
+        except TcpProtocolError:
+            self.protocol_errors += 1
+            return
+        if packet.kind is PacketKind.DATA:
+            self._data[key].append(packet)
+        if packet.kind in (PacketKind.FIN, PacketKind.RST):
+            session = self._finish(key)
+            if session is not None:
+                yield session
+
+    def _finish(self, key: tuple) -> TcpSession:
+        flow = self._flows.pop(key)
+        data_packets = sorted(self._data.pop(key), key=lambda p: p.seq)
+        if not flow.is_established:
+            return None
+        payload = b"".join(p.payload for p in data_packets)
+        session = TcpSession(
+            session_id=self._next_session_id,
+            start=flow.established_at,
+            src_ip=flow.client_ip,
+            src_port=flow.client_port,
+            dst_ip=flow.server_ip,
+            dst_port=flow.server_port,
+            payload=payload,
+            end=flow.closed_at,
+            established=True,
+        )
+        self._next_session_id += 1
+        return session
+
+    def flush(self) -> Iterator[TcpSession]:
+        """Close out all in-flight flows (instance teardown)."""
+        for key in list(self._flows):
+            session = self._finish(key)
+            if session is not None:
+                yield session
+
+    def assemble(self, packets: Iterable[Packet]) -> Iterator[TcpSession]:
+        """Convenience: feed a whole packet stream and flush."""
+        for packet in packets:
+            yield from self.feed(packet)
+        yield from self.flush()

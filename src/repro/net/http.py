@@ -1,0 +1,114 @@
+"""Minimal HTTP/1.x request model.
+
+Exploit payloads in the studied dataset are dominated by HTTP (URI path
+traversal, header injection such as Log4Shell's ``${jndi:...}``, body and
+cookie injection).  The traffic generator builds requests with
+:class:`HttpRequest`; the NIDS buffer extractor parses captured payloads back
+with :func:`parse_http_request` to evaluate Snort's ``http_uri`` /
+``http_header`` / ``http_cookie`` / ``http_client_body`` /
+``http_method`` modifiers.
+
+The parser is tolerant by design: scanners send malformed requests, and an
+IDS must still extract what it can (Snort's HTTP inspector behaves the same
+way).  Unparseable input yields ``None`` rather than raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_CRLF = "\r\n"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request, as built by scanners or parsed from capture.
+
+    Header names keep their original case for encoding but are matched
+    case-insensitively via :meth:`header`.
+    """
+
+    method: str = "GET"
+    uri: str = "/"
+    version: str = "HTTP/1.1"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+
+    def header(self, name: str) -> Optional[str]:
+        """First header value with the given (case-insensitive) name."""
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    def with_header(self, name: str, value: str) -> "HttpRequest":
+        """Return a copy with an extra header appended."""
+        return HttpRequest(
+            method=self.method,
+            uri=self.uri,
+            version=self.version,
+            headers=[*self.headers, (name, value)],
+            body=self.body,
+        )
+
+    @property
+    def cookie(self) -> str:
+        """The Cookie header value (empty string when absent)."""
+        return self.header("Cookie") or ""
+
+    @property
+    def raw_headers(self) -> str:
+        """Header lines joined — the buffer Snort's ``http_header`` matches.
+
+        Snort excludes the Cookie header from ``http_header`` (cookies have
+        their own ``http_cookie`` buffer); matching must do the same or
+        cookie-borne payloads would be caught by header signatures.
+        """
+        return _CRLF.join(
+            f"{k}: {v}" for k, v in self.headers if k.lower() != "cookie"
+        )
+
+    def encode(self) -> bytes:
+        """Serialise to wire format."""
+        headers = list(self.headers)
+        if self.body and not any(k.lower() == "content-length" for k, _ in headers):
+            headers.append(("Content-Length", str(len(self.body))))
+        head = _CRLF.join(
+            [f"{self.method} {self.uri} {self.version}"]
+            + [f"{k}: {v}" for k, v in headers]
+        )
+        return head.encode("utf-8", errors="surrogateescape") + b"\r\n\r\n" + self.body
+
+
+def parse_http_request(payload: bytes) -> Optional[HttpRequest]:
+    """Parse a captured client payload as an HTTP request.
+
+    Returns None when the payload does not look like HTTP at all (no request
+    line with an HTTP version token).  Malformed header lines are skipped
+    rather than failing the whole parse.
+    """
+    head, separator, body = payload.partition(b"\r\n\r\n")
+    if not separator:
+        head, separator, body = payload.partition(b"\n\n")
+    try:
+        text = head.decode("utf-8", errors="surrogateescape")
+    except Exception:  # pragma: no cover - surrogateescape never raises
+        return None
+    lines = text.splitlines()
+    if not lines:
+        return None
+    request_line = lines[0].split()
+    if len(request_line) != 3 or not request_line[2].startswith("HTTP/"):
+        return None
+    method, uri, version = request_line
+    headers: List[Tuple[str, str]] = []
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if not colon or not name.strip():
+            continue
+        headers.append((name.strip(), value.strip()))
+    return HttpRequest(
+        method=method, uri=uri, version=version, headers=headers, body=body
+    )

@@ -1,0 +1,57 @@
+"""Packet-level model.
+
+DSCOPE records pcap data; we model the subset of packet structure the
+reproduction needs — enough to reassemble TCP sessions and to exercise the
+same capture path the real telescope uses.  Addresses are 32-bit ints (see
+:mod:`repro.util.iputil`); timestamps are naive UTC datetimes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+
+
+class PacketKind(enum.Enum):
+    """The TCP packet roles the flow assembler distinguishes."""
+
+    SYN = "syn"
+    SYN_ACK = "syn-ack"
+    ACK = "ack"
+    DATA = "data"
+    FIN = "fin"
+    RST = "rst"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single captured packet.
+
+    ``payload`` is only populated for :attr:`PacketKind.DATA` packets; the
+    assembler concatenates client-to-server data in sequence order.
+    """
+
+    timestamp: datetime
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    kind: PacketKind
+    seq: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 65535:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
+        if self.payload and self.kind is not PacketKind.DATA:
+            raise ValueError(f"{self.kind} packet cannot carry payload")
+
+    @property
+    def flow_key(self) -> tuple:
+        """Directionless 5-tuple key identifying the flow."""
+        forward = (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+        reverse = (self.dst_ip, self.dst_port, self.src_ip, self.src_port)
+        return min(forward, reverse)

@@ -1,0 +1,124 @@
+"""Persistent session store — the retrospective ("wayback") substrate.
+
+The paper's central methodological trick is *post-facto* evaluation: the full
+two years of captured traffic are stored, and IDS signatures are evaluated
+retroactively over the archive, so exploit traffic that predates a
+signature's publication is still identified.  :class:`SessionStore` is that
+archive: an append-only, time-ordered store of sessions with JSONL
+persistence (payloads base64-encoded) and time-range replay.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from bisect import bisect_left, bisect_right
+from datetime import datetime
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.net.session import TcpSession
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S.%f"
+
+
+def _encode(session: TcpSession) -> dict:
+    return {
+        "id": session.session_id,
+        "start": session.start.strftime(_TIME_FORMAT),
+        "end": session.end.strftime(_TIME_FORMAT) if session.end else None,
+        "src_ip": session.src_ip,
+        "src_port": session.src_port,
+        "dst_ip": session.dst_ip,
+        "dst_port": session.dst_port,
+        "payload": base64.b64encode(session.payload).decode("ascii"),
+        "established": session.established,
+    }
+
+
+def _decode(record: dict) -> TcpSession:
+    return TcpSession(
+        session_id=record["id"],
+        start=datetime.strptime(record["start"], _TIME_FORMAT),
+        end=(
+            datetime.strptime(record["end"], _TIME_FORMAT)
+            if record.get("end")
+            else None
+        ),
+        src_ip=record["src_ip"],
+        src_port=record["src_port"],
+        dst_ip=record["dst_ip"],
+        dst_port=record["dst_port"],
+        payload=base64.b64decode(record["payload"]),
+        established=record.get("established", True),
+    )
+
+
+class SessionStore:
+    """Time-indexed archive of captured TCP sessions.
+
+    Sessions may be appended in any order; iteration and range queries are
+    always in start-time order.  The index is rebuilt lazily, so bulk appends
+    stay O(1) each.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: List[TcpSession] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def append(self, session: TcpSession) -> None:
+        if self._sessions and session.start < self._sessions[-1].start:
+            self._sorted = False
+        self._sessions.append(session)
+
+    def extend(self, sessions: Iterable[TcpSession]) -> None:
+        for session in sessions:
+            self.append(session)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._sessions.sort(key=lambda s: (s.start, s.session_id))
+            self._sorted = True
+
+    def __iter__(self) -> Iterator[TcpSession]:
+        self._ensure_sorted()
+        return iter(self._sessions)
+
+    def between(
+        self, start: Optional[datetime] = None, end: Optional[datetime] = None
+    ) -> Iterator[TcpSession]:
+        """Replay sessions with start times in [start, end)."""
+        self._ensure_sorted()
+        starts = [s.start for s in self._sessions]
+        lo = bisect_left(starts, start) if start is not None else 0
+        hi = bisect_left(starts, end) if end is not None else len(starts)
+        return iter(self._sessions[lo:hi])
+
+    def to_port(self, port: int) -> Iterator[TcpSession]:
+        """All sessions targeting a given telescope port."""
+        return (s for s in self if s.dst_port == port)
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write the archive as JSONL; returns the number of records."""
+        self._ensure_sorted()
+        path = Path(path)
+        with path.open("w", encoding="ascii") as handle:
+            for session in self._sessions:
+                handle.write(json.dumps(_encode(session)) + "\n")
+        return len(self._sessions)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SessionStore":
+        """Load an archive written by :meth:`save`."""
+        store = cls()
+        with Path(path).open("r", encoding="ascii") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.append(_decode(json.loads(line)))
+        return store

@@ -1,0 +1,73 @@
+"""TCP session records.
+
+A :class:`TcpSession` is the unit of everything downstream: the telescope
+captures sessions, the session store persists them, the NIDS matches rules
+against their client payloads, and the analyses count sessions (case studies)
+or exploit events derived from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.util.iputil import format_ipv4
+
+
+class SessionDirection(enum.Enum):
+    """Direction of the application payload relative to the telescope."""
+
+    CLIENT_TO_TELESCOPE = "c2t"
+    TELESCOPE_TO_CLIENT = "t2c"
+
+
+@dataclass(frozen=True)
+class TcpSession:
+    """One established TCP session captured by the telescope.
+
+    ``payload`` is the client banner data (the bytes the scanner sent after
+    the handshake — DSCOPE never replies at the application layer, so all
+    application data is client-to-telescope).
+    """
+
+    session_id: int
+    start: datetime
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    payload: bytes = field(repr=False, default=b"")
+    end: Optional[datetime] = None
+    established: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 65535:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
+        if self.end is not None and self.end < self.start:
+            raise ValueError("session ends before it starts")
+
+    @property
+    def src_text(self) -> str:
+        """Source address as dotted-quad (for reports/debugging)."""
+        return format_ipv4(self.src_ip)
+
+    @property
+    def dst_text(self) -> str:
+        """Destination (telescope) address as dotted-quad."""
+        return format_ipv4(self.dst_ip)
+
+    @property
+    def payload_size(self) -> int:
+        return len(self.payload)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"session {self.session_id}: {self.src_text}:{self.src_port} -> "
+            f"{self.dst_text}:{self.dst_port} at {self.start:%Y-%m-%d %H:%M} "
+            f"({self.payload_size} payload bytes)"
+        )

@@ -1,0 +1,93 @@
+"""TCP handshake state machine.
+
+DSCOPE instances "establish TCP sessions but do not send any
+application-layer response, emulating an unresponsive application-layer
+service".  The handshake model here captures exactly that behaviour: the
+listener completes the three-way handshake on any port, accepts client data,
+and never emits application bytes.
+
+The state machine is deliberately small — it models the session-level
+semantics the measurement depends on (was a session established?  what client
+data arrived before reset/close?), not retransmission or congestion control.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import List, Optional
+
+from repro.net.packet import Packet, PacketKind
+
+
+class TcpEndpointState(enum.Enum):
+    """Listener-side connection states we track."""
+
+    LISTEN = "listen"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+class TcpProtocolError(Exception):
+    """A packet arrived that is invalid for the current handshake state."""
+
+
+@dataclass
+class TcpHandshake:
+    """Listener-side handshake tracking for one client connection.
+
+    Feed client packets via :meth:`receive`; the handshake reports which
+    response the (synthetic) listener would emit and accumulates client
+    application data once established.
+    """
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    state: TcpEndpointState = TcpEndpointState.LISTEN
+    established_at: Optional[datetime] = None
+    closed_at: Optional[datetime] = None
+    _chunks: List[bytes] = field(default_factory=list, repr=False)
+
+    def receive(self, packet: Packet) -> Optional[PacketKind]:
+        """Process a client packet; return the listener's reply kind, if any.
+
+        Raises :class:`TcpProtocolError` on out-of-state packets (e.g. data
+        before the handshake completes), mirroring what a kernel would drop.
+        """
+        if packet.kind is PacketKind.SYN:
+            if self.state is not TcpEndpointState.LISTEN:
+                raise TcpProtocolError("duplicate SYN")
+            self.state = TcpEndpointState.SYN_RECEIVED
+            return PacketKind.SYN_ACK
+        if packet.kind is PacketKind.ACK:
+            if self.state is TcpEndpointState.SYN_RECEIVED:
+                self.state = TcpEndpointState.ESTABLISHED
+                self.established_at = packet.timestamp
+            return None
+        if packet.kind is PacketKind.DATA:
+            if self.state is not TcpEndpointState.ESTABLISHED:
+                raise TcpProtocolError("data before handshake completion")
+            self._chunks.append(packet.payload)
+            # The telescope ACKs data but never responds at the
+            # application layer.
+            return PacketKind.ACK
+        if packet.kind in (PacketKind.FIN, PacketKind.RST):
+            if self.state is TcpEndpointState.CLOSED:
+                return None
+            self.state = TcpEndpointState.CLOSED
+            self.closed_at = packet.timestamp
+            return PacketKind.ACK if packet.kind is PacketKind.FIN else None
+        raise TcpProtocolError(f"unexpected packet kind {packet.kind}")
+
+    @property
+    def client_payload(self) -> bytes:
+        """All client application data received so far, in order."""
+        return b"".join(self._chunks)
+
+    @property
+    def is_established(self) -> bool:
+        return self.established_at is not None

@@ -1,0 +1,111 @@
+"""Aho-Corasick multi-pattern matching for the fast-pattern prefilter.
+
+Real Snort funnels every packet through a multi-pattern search engine over
+the rules' *fast patterns* and only evaluates the full option list of rules
+whose fast pattern occurred.  The naive per-rule ``bytes in payload``
+prefilter scans the payload once per rule; the Aho-Corasick automaton scans
+it once total, reporting every matching pattern id.
+
+The automaton is case-insensitive (patterns and haystacks are lowercased),
+matching how fast patterns are used: they are a necessary-condition filter,
+and the full matcher re-checks case exactly.
+
+Implementation: classic Aho-Corasick with goto/fail links flattened into
+per-node dict transitions, built breadth-first, with output sets merged
+along failure links at build time so scanning never chases fail chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+class AhoCorasick:
+    """A compiled multi-pattern automaton over byte strings."""
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        """Compile an automaton for the given patterns.
+
+        Pattern ids are their indices in ``patterns``.  Empty patterns are
+        rejected (they would match everywhere and mask bugs).
+        """
+        self.patterns: List[bytes] = [p.lower() for p in patterns]
+        for index, pattern in enumerate(self.patterns):
+            if not pattern:
+                raise ValueError(f"empty pattern at index {index}")
+        # Node storage: transitions[node][byte] -> node, outputs[node] -> ids.
+        self._transitions: List[Dict[int, int]] = [{}]
+        self._outputs: List[Set[int]] = [set()]
+        self._fail: List[int] = [0]
+        self._build_trie()
+        self._build_failure_links()
+
+    def _new_node(self) -> int:
+        self._transitions.append({})
+        self._outputs.append(set())
+        self._fail.append(0)
+        return len(self._transitions) - 1
+
+    def _build_trie(self) -> None:
+        for pattern_id, pattern in enumerate(self.patterns):
+            node = 0
+            for byte in pattern:
+                next_node = self._transitions[node].get(byte)
+                if next_node is None:
+                    next_node = self._new_node()
+                    self._transitions[node][byte] = next_node
+                node = next_node
+            self._outputs[node].add(pattern_id)
+
+    def _build_failure_links(self) -> None:
+        queue = deque()
+        for byte, node in self._transitions[0].items():
+            self._fail[node] = 0
+            queue.append(node)
+        while queue:
+            current = queue.popleft()
+            for byte, child in self._transitions[current].items():
+                queue.append(child)
+                fail = self._fail[current]
+                while fail and byte not in self._transitions[fail]:
+                    fail = self._fail[fail]
+                self._fail[child] = self._transitions[fail].get(byte, 0)
+                self._outputs[child] |= self._outputs[self._fail[child]]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._transitions)
+
+    def search(self, haystack: bytes) -> Set[int]:
+        """Ids of every pattern occurring in the haystack (lowercased)."""
+        haystack = haystack.lower()
+        found: Set[int] = set()
+        node = 0
+        transitions = self._transitions
+        outputs = self._outputs
+        fail = self._fail
+        for byte in haystack:
+            while node and byte not in transitions[node]:
+                node = fail[node]
+            node = transitions[node].get(byte, 0)
+            if outputs[node]:
+                found |= outputs[node]
+                if len(found) == len(self.patterns):
+                    break
+        return found
+
+    def contains_any(self, haystack: bytes) -> bool:
+        """Whether any pattern occurs (early-exit variant of search)."""
+        haystack = haystack.lower()
+        node = 0
+        transitions = self._transitions
+        fail = self._fail
+        outputs = self._outputs
+        for byte in haystack:
+            while node and byte not in transitions[node]:
+                node = fail[node]
+            node = transitions[node].get(byte, 0)
+            if outputs[node]:
+                return True
+        return False

@@ -1,0 +1,61 @@
+"""Detection engine: post-facto evaluation of a ruleset over an archive.
+
+This is the reproduction of the study's Snort pass — the entire stored
+traffic archive is scanned with the full (retrospective) ruleset, and each
+session contributes at most one alert (its earliest-published matching
+signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.session import TcpSession
+from repro.nids.ruleset import Alert, Ruleset
+
+
+@dataclass
+class DetectionStats:
+    """Counters from one engine pass."""
+
+    sessions_scanned: int = 0
+    sessions_alerted: int = 0
+    pre_publication_alerts: int = 0
+    alerts_by_sid: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def alert_rate(self) -> float:
+        if self.sessions_scanned == 0:
+            return 0.0
+        return self.sessions_alerted / self.sessions_scanned
+
+
+class DetectionEngine:
+    """Run a :class:`Ruleset` over session streams."""
+
+    def __init__(self, ruleset: Ruleset) -> None:
+        self.ruleset = ruleset
+        self.stats = DetectionStats()
+
+    def scan(self, sessions: Iterable[TcpSession]) -> List[Alert]:
+        """Scan sessions; returns retained alerts in session order."""
+        alerts: List[Alert] = []
+        for session in sessions:
+            self.stats.sessions_scanned += 1
+            alert = self.ruleset.match_session(session)
+            if alert is None:
+                continue
+            self.stats.sessions_alerted += 1
+            if alert.pre_publication:
+                self.stats.pre_publication_alerts += 1
+            self.stats.alerts_by_sid[alert.sid] = (
+                self.stats.alerts_by_sid.get(alert.sid, 0) + 1
+            )
+            alerts.append(alert)
+        return alerts
+
+    def scan_one(self, session: TcpSession) -> Optional[Alert]:
+        """Scan a single session (updates stats identically)."""
+        results = self.scan([session])
+        return results[0] if results else None

@@ -1,0 +1,143 @@
+"""Ruleset linting: the quality checks behind Section 3.2's rule pruning.
+
+The paper's root-cause analysis exists because some signatures are unsound —
+overly general contents that fire on endpoint access rather than
+exploitation.  This linter encodes the static half of that judgement: it
+flags rules whose shape predicts false positives or missed traffic *before*
+any packet is matched, the review an IDS vendor would run pre-release.
+
+Checks:
+
+* ``short-content`` — every positive content is shorter than 4 bytes
+  (high collision probability against benign traffic);
+* ``generic-endpoint`` — the rule's only anchor is a common path (login,
+  admin, manager...) with no exploit structure — the exact pattern the
+  paper's RCA removed;
+* ``no-fast-pattern`` — no positive content at all (pure pcre): the rule
+  bypasses the multi-pattern prefilter and costs a full evaluation per
+  session;
+* ``port-constrained`` — destination ports restricted, which the study
+  shows misses off-port scanning (the reason for the port-insensitive
+  rewrite);
+* ``missing-cve-reference`` — alerts cannot be attributed to a CVE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nids.rule import ContentMatch, PcreMatch, Rule
+
+#: Endpoint fragments that appear in benign traffic at volume.
+_GENERIC_ENDPOINTS = (
+    b"/login",
+    b"/admin",
+    b"/manager",
+    b"/index",
+    b"/api/",
+    b"/cgi-bin/",
+    b"/wp-",
+)
+
+#: Byte fragments indicating actual exploit structure inside a pattern:
+#: injection syntax, encoded traversal/braces, path-parameter (`;`) tricks.
+_STRUCTURE_HINTS = (
+    b"${", b"%24", b"..", b"`", b"$(", b"<!", b"%27", b"jndi",
+    b"classloader", b"t(java", b"loadlib", b"\x00", b";", b"%2e", b"%7d",
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter complaint about one rule."""
+
+    sid: int
+    check: str
+    message: str
+
+
+def _positive_contents(rule: Rule) -> List[ContentMatch]:
+    return [
+        option
+        for option in rule.options
+        if isinstance(option, ContentMatch) and not option.negated
+    ]
+
+
+def lint_rule(rule: Rule) -> List[LintFinding]:
+    """Run all checks against one rule."""
+    findings: List[LintFinding] = []
+    contents = _positive_contents(rule)
+
+    if contents and all(len(option.pattern) < 4 for option in contents):
+        findings.append(
+            LintFinding(
+                sid=rule.sid,
+                check="short-content",
+                message="all positive contents shorter than 4 bytes",
+            )
+        )
+
+    if contents:
+        lowered = [option.pattern.lower() for option in contents]
+        generic = any(
+            any(endpoint in pattern for endpoint in _GENERIC_ENDPOINTS)
+            for pattern in lowered
+        )
+        structured = any(
+            any(hint in pattern for hint in _STRUCTURE_HINTS)
+            for pattern in lowered
+        )
+        if generic and not structured and len(contents) == 1:
+            findings.append(
+                LintFinding(
+                    sid=rule.sid,
+                    check="generic-endpoint",
+                    message=(
+                        "single content matches a common endpoint with no "
+                        "exploit structure; will fire on benign access"
+                    ),
+                )
+            )
+
+    if not contents:
+        has_pcre = any(isinstance(o, PcreMatch) for o in rule.options)
+        findings.append(
+            LintFinding(
+                sid=rule.sid,
+                check="no-fast-pattern",
+                message=(
+                    "no positive content; rule bypasses the prefilter"
+                    + (" (pure pcre)" if has_pcre else "")
+                ),
+            )
+        )
+
+    if not rule.dst_ports.any_port:
+        findings.append(
+            LintFinding(
+                sid=rule.sid,
+                check="port-constrained",
+                message="destination ports restricted; off-port scanning missed",
+            )
+        )
+
+    if not rule.cve_ids:
+        findings.append(
+            LintFinding(
+                sid=rule.sid,
+                check="missing-cve-reference",
+                message="no reference:cve; alerts cannot be attributed",
+            )
+        )
+    return findings
+
+
+def lint_rules(rules: Sequence[Rule]) -> List[LintFinding]:
+    """Lint a whole ruleset; findings ordered by sid then check."""
+    findings: List[LintFinding] = []
+    for rule in rules:
+        findings.extend(lint_rule(rule))
+    findings.sort(key=lambda finding: (finding.sid, finding.check))
+    return findings

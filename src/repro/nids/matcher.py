@@ -1,0 +1,189 @@
+"""Rule evaluation against captured sessions.
+
+Implements Snort's detection semantics for the supported option subset:
+options are evaluated in source order; every positive option must match (and
+every negated option must not); ``distance``/``within`` anchor a content
+match to the end of the previous match *in the same buffer*; HTTP buffer
+options require the payload to parse as an HTTP request.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.net.http import HttpRequest, parse_http_request
+from repro.net.session import TcpSession
+from repro.nids.rule import (
+    ContentMatch,
+    HttpBuffer,
+    IsDataAt,
+    PcreMatch,
+    Rule,
+    SizeBound,
+)
+
+
+class SessionBuffers:
+    """Lazily extracted match buffers for one session payload.
+
+    Parsing HTTP once per session (not once per rule) is the difference
+    between the engine being usable on 100k-session archives or not.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        self.raw = payload
+        self._http: Optional[HttpRequest] = None
+        self._http_parsed = False
+        self._cache: Dict[HttpBuffer, Optional[bytes]] = {}
+
+    @property
+    def http(self) -> Optional[HttpRequest]:
+        if not self._http_parsed:
+            self._http = parse_http_request(self.raw)
+            self._http_parsed = True
+        return self._http
+
+    def get(self, buffer: HttpBuffer) -> Optional[bytes]:
+        """The bytes for a buffer, or None when unavailable (non-HTTP)."""
+        if buffer is HttpBuffer.RAW:
+            return self.raw
+        if buffer in self._cache:
+            return self._cache[buffer]
+        request = self.http
+        value: Optional[bytes]
+        if request is None:
+            value = None
+        elif buffer is HttpBuffer.HTTP_URI:
+            value = request.uri.encode("utf-8", errors="surrogateescape")
+        elif buffer is HttpBuffer.HTTP_HEADER:
+            value = request.raw_headers.encode("utf-8", errors="surrogateescape")
+        elif buffer is HttpBuffer.HTTP_COOKIE:
+            value = request.cookie.encode("utf-8", errors="surrogateescape")
+        elif buffer is HttpBuffer.HTTP_CLIENT_BODY:
+            value = request.body
+        elif buffer is HttpBuffer.HTTP_METHOD:
+            value = request.method.encode("utf-8", errors="surrogateescape")
+        else:  # pragma: no cover - exhaustive over enum
+            raise AssertionError(buffer)
+        self._cache[buffer] = value
+        return value
+
+
+@lru_cache(maxsize=4096)
+def _compiled(pattern: str, flags: int) -> "re.Pattern[bytes]":
+    return re.compile(pattern.encode("utf-8"), flags)
+
+
+def _find_content(
+    haystack: bytes, option: ContentMatch, anchor: int
+) -> Optional[int]:
+    """Return the end offset of the match, or None.
+
+    ``anchor`` is the end of the previous match in this buffer (0 at start);
+    relative modifiers offset from it, absolute ones from the buffer start.
+    """
+    needle = option.pattern
+    if option.nocase:
+        haystack = haystack.lower()
+        needle = needle.lower()
+
+    if option.is_relative:
+        start = anchor + (option.distance or 0)
+        if option.within is not None:
+            end = start + option.within
+        else:
+            end = len(haystack)
+    else:
+        start = option.offset or 0
+        if option.depth is not None:
+            end = start + option.depth
+        else:
+            end = len(haystack)
+
+    if start < 0 or start > len(haystack):
+        return None
+    found = haystack.find(needle, start, min(end, len(haystack)))
+    if found < 0:
+        return None
+    return found + len(needle)
+
+
+def match_rule(
+    rule: Rule,
+    session: TcpSession,
+    buffers: Optional[SessionBuffers] = None,
+    *,
+    check_ports: bool = True,
+) -> bool:
+    """Whether a rule matches a session.
+
+    ``check_ports`` False skips the destination-port constraint — the
+    study's port-insensitive evaluation (equivalently, call
+    :meth:`Rule.port_insensitive` once up front).
+    """
+    if check_ports and not rule.dst_ports.matches(session.dst_port):
+        return False
+    if check_ports and not rule.src_ports.matches(session.src_port):
+        return False
+    if not session.payload:
+        return False
+
+    if buffers is None:
+        buffers = SessionBuffers(session.payload)
+
+    anchors: Dict[HttpBuffer, int] = {}
+    last_buffer = HttpBuffer.RAW
+    for option in rule.options:
+        if isinstance(option, SizeBound):
+            if option.kind == "dsize":
+                size = len(buffers.raw)
+            else:  # urilen
+                uri = buffers.get(HttpBuffer.HTTP_URI)
+                if uri is None:
+                    return False
+                size = len(uri)
+            if not option.matches(size):
+                return False
+            continue
+        if isinstance(option, IsDataAt):
+            haystack = buffers.get(last_buffer)
+            if haystack is None:
+                return False
+            position = option.offset
+            if option.relative:
+                position += anchors.get(last_buffer, 0)
+            has_data = position < len(haystack)
+            if has_data == option.negated:
+                return False
+            continue
+        haystack = buffers.get(option.buffer)
+        if haystack is None:
+            # HTTP buffer requested but the payload is not HTTP: a positive
+            # option cannot match; a negated option trivially holds.
+            if isinstance(option, (ContentMatch, PcreMatch)) and option.negated:
+                continue
+            return False
+        if isinstance(option, ContentMatch):
+            end = _find_content(haystack, option, anchors.get(option.buffer, 0))
+            if option.negated:
+                if end is not None:
+                    return False
+                continue
+            if end is None:
+                return False
+            anchors[option.buffer] = end
+        elif isinstance(option, PcreMatch):
+            found = _compiled(option.pattern, option.flags).search(haystack)
+            if option.negated:
+                if found is not None:
+                    return False
+                continue
+            if found is None:
+                return False
+            anchors[option.buffer] = found.end()
+        else:  # pragma: no cover - AST is closed
+            raise AssertionError(f"unknown option type {option!r}")
+        last_buffer = option.buffer
+    return True

@@ -1,0 +1,264 @@
+"""Snort rule-text parser.
+
+Parses the classic single-line rule format::
+
+    alert tcp $EXTERNAL_NET any -> $HOME_NET [80,8080] (msg:"..."; \
+        flow:to_server,established; content:"${jndi:"; nocase; http_header; \
+        pcre:"/\\x24\\x7bjndi/iH"; reference:cve,2021-44228; sid:58722; rev:3;)
+
+Supported option vocabulary is the subset the study's synthetic ruleset
+uses (see :mod:`repro.nids.rule`); unknown options are preserved in the
+rule's metadata rather than rejected, mirroring how an engine skips
+non-detection options it does not implement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.nids.rule import (
+    ContentMatch,
+    HttpBuffer,
+    IsDataAt,
+    PcreMatch,
+    PortSpec,
+    Rule,
+    SizeBound,
+)
+
+
+class RuleParseError(ValueError):
+    """Raised when rule text cannot be parsed."""
+
+
+_HEADER_RE = re.compile(
+    r"^\s*(?P<action>\w+)\s+(?P<proto>\w+)\s+(?P<src>\S+)\s+(?P<sports>\S+)\s+"
+    r"(?P<dir>->|<>)\s+(?P<dst>\S+)\s+(?P<dports>\S+)\s*\((?P<options>.*)\)\s*$",
+    re.DOTALL,
+)
+
+#: pcre trailing-flag characters -> (re flag, buffer)
+_PCRE_FLAGS = {
+    "i": (re.IGNORECASE, None),
+    "s": (re.DOTALL, None),
+    "m": (re.MULTILINE, None),
+    "U": (0, HttpBuffer.HTTP_URI),
+    "H": (0, HttpBuffer.HTTP_HEADER),
+    "C": (0, HttpBuffer.HTTP_COOKIE),
+    "P": (0, HttpBuffer.HTTP_CLIENT_BODY),
+    "M": (0, HttpBuffer.HTTP_METHOD),
+}
+
+def _split_options(text: str) -> List[str]:
+    """Split the option block on semicolons, respecting quoted strings."""
+    options: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in text:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == ";" and not in_quotes:
+            option = "".join(current).strip()
+            if option:
+                options.append(option)
+            current = []
+            continue
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        options.append(tail)
+    if in_quotes:
+        raise RuleParseError("unterminated quoted string in options")
+    return options
+
+
+def _decode_content(text: str) -> bytes:
+    """Decode a quoted content pattern with Snort escapes and |hex| runs."""
+    if not (text.startswith('"') and text.endswith('"') and len(text) >= 2):
+        raise RuleParseError(f"content pattern must be quoted: {text!r}")
+    body = text[1:-1]
+    out = bytearray()
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            if index + 1 >= len(body):
+                raise RuleParseError("dangling escape in content")
+            out.append(ord(body[index + 1]))
+            index += 2
+        elif char == "|":
+            end = body.find("|", index + 1)
+            if end < 0:
+                raise RuleParseError("unterminated hex run in content")
+            hex_text = body[index + 1 : end].replace(" ", "")
+            if len(hex_text) % 2:
+                raise RuleParseError(f"odd-length hex run: {hex_text!r}")
+            out.extend(bytes.fromhex(hex_text))
+            index = end + 1
+        else:
+            out.append(ord(char))
+            index += 1
+    return bytes(out)
+
+
+def _parse_pcre(value: str) -> PcreMatch:
+    value = value.strip()
+    negated = value.startswith("!")
+    if negated:
+        value = value[1:].strip()
+    if value.startswith('"') and value.endswith('"'):
+        value = value[1:-1]
+    if not value.startswith("/"):
+        raise RuleParseError(f"pcre must start with '/': {value!r}")
+    closing = value.rfind("/")
+    if closing == 0:
+        raise RuleParseError(f"unterminated pcre: {value!r}")
+    pattern = value[1:closing]
+    flags = 0
+    buffer = HttpBuffer.RAW
+    for flag_char in value[closing + 1 :]:
+        if flag_char not in _PCRE_FLAGS:
+            raise RuleParseError(f"unsupported pcre flag {flag_char!r}")
+        re_flag, flag_buffer = _PCRE_FLAGS[flag_char]
+        flags |= re_flag
+        if flag_buffer is not None:
+            buffer = flag_buffer
+    return PcreMatch(pattern=pattern, flags=flags, buffer=buffer, negated=negated)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule; raises :class:`RuleParseError` on malformed input."""
+    stripped = text.strip()
+    if not stripped or stripped.startswith("#"):
+        raise RuleParseError("empty or comment line")
+    match = _HEADER_RE.match(stripped)
+    if match is None:
+        raise RuleParseError(f"unparseable rule header: {text[:80]!r}")
+
+    buffer_modifiers = {
+        "http_uri": HttpBuffer.HTTP_URI,
+        "http_header": HttpBuffer.HTTP_HEADER,
+        "http_cookie": HttpBuffer.HTTP_COOKIE,
+        "http_client_body": HttpBuffer.HTTP_CLIENT_BODY,
+        "http_method": HttpBuffer.HTTP_METHOD,
+    }
+
+    options: List = []
+    msg = ""
+    sid: Optional[int] = None
+    rev = 1
+    references: List[Tuple[str, str]] = []
+    metadata: Dict[str, str] = {}
+    flow_to_server = False
+
+    def last_content() -> ContentMatch:
+        for option in reversed(options):
+            if isinstance(option, ContentMatch):
+                return option
+        raise RuleParseError("modifier before any content option")
+
+    def replace_last_content(updated: ContentMatch) -> None:
+        for index in range(len(options) - 1, -1, -1):
+            if isinstance(options[index], ContentMatch):
+                options[index] = updated
+                return
+        raise RuleParseError("modifier before any content option")
+
+    import dataclasses
+
+    for option_text in _split_options(match.group("options")):
+        key, colon, value = option_text.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "msg":
+            msg = value.strip('"')
+        elif key == "content":
+            negated = value.startswith("!")
+            if negated:
+                value = value[1:].strip()
+            options.append(
+                ContentMatch(pattern=_decode_content(value), negated=negated)
+            )
+        elif key == "pcre":
+            options.append(_parse_pcre(value))
+        elif key == "nocase":
+            replace_last_content(dataclasses.replace(last_content(), nocase=True))
+        elif key == "fast_pattern":
+            replace_last_content(
+                dataclasses.replace(last_content(), fast_pattern=True)
+            )
+        elif key in buffer_modifiers:
+            target = buffer_modifiers[key]
+            replace_last_content(
+                dataclasses.replace(last_content(), buffer=target)
+            )
+        elif key in ("offset", "depth", "distance", "within"):
+            replace_last_content(
+                dataclasses.replace(last_content(), **{key: int(value)})
+            )
+        elif key in ("urilen", "dsize"):
+            options.append(SizeBound.parse(key, value))
+        elif key == "isdataat":
+            options.append(IsDataAt.parse(value))
+        elif key == "sid":
+            sid = int(value)
+        elif key == "rev":
+            rev = int(value)
+        elif key == "reference":
+            scheme, _, ref_value = value.partition(",")
+            references.append((scheme.strip(), ref_value.strip()))
+        elif key == "flow":
+            flow_to_server = "to_server" in value
+        elif key == "metadata":
+            for piece in value.split(","):
+                piece = piece.strip()
+                if not piece:
+                    continue
+                meta_key, _, meta_value = piece.partition(" ")
+                metadata[meta_key] = meta_value
+        elif not colon:
+            metadata[key] = ""
+        else:
+            metadata[key] = value
+
+    if sid is None:
+        raise RuleParseError("rule missing sid")
+
+    return Rule(
+        action=match.group("action"),
+        protocol=match.group("proto"),
+        src=match.group("src"),
+        src_ports=PortSpec.parse(match.group("sports")),
+        dst=match.group("dst"),
+        dst_ports=PortSpec.parse(match.group("dports")),
+        msg=msg,
+        sid=sid,
+        rev=rev,
+        options=tuple(options),
+        references=tuple(references),
+        metadata=metadata,
+        flow_to_server=flow_to_server,
+    )
+
+
+def parse_rules(lines: Iterable[str]) -> List[Rule]:
+    """Parse a rule file's lines, skipping blanks and comments."""
+    rules: List[Rule] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped))
+    return rules

@@ -1,0 +1,209 @@
+"""Ruleset management: publication dates, port-insensitive rewriting, and
+earliest-published-signature retention.
+
+The study evaluates the full ruleset over each session and keeps only the
+earliest-*published* matching signature (Section 3.1) — this attributes a
+session to the first defense that could ever have caught it, which is what
+the D (fix deployed) comparison needs.
+
+Matching is prefiltered the way real Snort does it: an Aho-Corasick
+automaton over every rule's *fast pattern* scans each payload once and
+nominates candidate rules; only candidates get full option evaluation.
+Rules without a usable fast pattern (pure-pcre rules) are always candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.session import TcpSession
+from repro.nids.automaton import AhoCorasick
+from repro.nids.matcher import SessionBuffers, match_rule
+from repro.nids.rule import Rule
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One retained detection: a session matched a signature."""
+
+    session_id: int
+    timestamp: datetime
+    sid: int
+    cve_id: Optional[str]
+    rule_published: datetime
+    dst_ip: int
+    dst_port: int
+    src_ip: int
+
+    @property
+    def pre_publication(self) -> bool:
+        """Whether the traffic predates the signature's publication —
+        only discoverable because evaluation is post-facto."""
+        return self.timestamp < self.rule_published
+
+
+class Ruleset:
+    """A set of rules with publication dates.
+
+    ``port_insensitive`` (default True, per the paper) rewrites every rule
+    to drop port constraints before matching.
+    """
+
+    def __init__(self, *, port_insensitive: bool = True) -> None:
+        self._rules: List[Tuple[Rule, datetime]] = []
+        self._port_insensitive = port_insensitive
+        self._fast_patterns: List[Optional[bytes]] = []
+        self._automaton: Optional[AhoCorasick] = None
+        self._pattern_rules: List[List[int]] = []
+        self._unfiltered: List[int] = []
+        self._compiled = False
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> List[Rule]:
+        return [rule for rule, _ in self._rules]
+
+    def add(self, rule: Rule, published: datetime) -> None:
+        """Register a rule with its publication timestamp."""
+        if any(existing.sid == rule.sid for existing, _ in self._rules):
+            raise ValueError(f"duplicate sid {rule.sid}")
+        if self._port_insensitive:
+            rule = rule.port_insensitive()
+        self._rules.append((rule, published))
+        fast = rule.fast_pattern
+        self._fast_patterns.append(fast.pattern.lower() if fast else None)
+        self._compiled = False  # prefilter rebuilt lazily on next match
+
+    def extend(self, rules: Iterable[Tuple[Rule, datetime]]) -> None:
+        for rule, published in rules:
+            self.add(rule, published)
+
+    def update(self, rule: Rule, published: datetime) -> bool:
+        """Install a rule revision.
+
+        Vendors ship revised signatures under the same SID with a bumped
+        ``rev`` (e.g. tightening a pattern after false positives).  The
+        revision replaces the detection logic but keeps the *original*
+        publication date — the defense existed from first release, which is
+        what the D (fix deployed) lifecycle event measures.
+
+        Returns True when an existing SID was revised; adds the rule as new
+        (with ``published``) otherwise.  A stale revision (rev not higher
+        than the installed one) is rejected.
+        """
+        for index, (existing, original_published) in enumerate(self._rules):
+            if existing.sid != rule.sid:
+                continue
+            if rule.rev <= existing.rev:
+                raise ValueError(
+                    f"sid {rule.sid}: revision {rule.rev} is not newer "
+                    f"than installed rev {existing.rev}"
+                )
+            if self._port_insensitive:
+                rule = rule.port_insensitive()
+            self._rules[index] = (rule, original_published)
+            fast = rule.fast_pattern
+            self._fast_patterns[index] = fast.pattern.lower() if fast else None
+            self._compiled = False
+            return True
+        self.add(rule, published)
+        return False
+
+    def published_at(self, sid: int) -> datetime:
+        for rule, published in self._rules:
+            if rule.sid == sid:
+                return published
+        raise KeyError(sid)
+
+    def rule_for_sid(self, sid: int) -> Rule:
+        for rule, _ in self._rules:
+            if rule.sid == sid:
+                return rule
+        raise KeyError(sid)
+
+    # -- prefilter ----------------------------------------------------------
+
+    def _compile(self) -> None:
+        """(Re)build the Aho-Corasick prefilter over fast patterns."""
+        pattern_to_id: Dict[bytes, int] = {}
+        patterns: List[bytes] = []
+        self._pattern_rules = []
+        self._unfiltered = []
+        for index, pattern in enumerate(self._fast_patterns):
+            if pattern is None:
+                self._unfiltered.append(index)
+                continue
+            pattern_id = pattern_to_id.get(pattern)
+            if pattern_id is None:
+                pattern_id = len(patterns)
+                pattern_to_id[pattern] = pattern_id
+                patterns.append(pattern)
+                self._pattern_rules.append([])
+            self._pattern_rules[pattern_id].append(index)
+        self._automaton = AhoCorasick(patterns) if patterns else None
+        self._compiled = True
+
+    def _ensure_compiled(self) -> None:
+        if not self._compiled:
+            self._compile()
+
+    def _candidates(self, payload: bytes) -> List[int]:
+        """Rule indices whose fast pattern occurs (plus unfiltered rules)."""
+        candidates = list(self._unfiltered)
+        if self._automaton is not None:
+            for pattern_id in self._automaton.search(payload):
+                candidates.extend(self._pattern_rules[pattern_id])
+        return candidates
+
+    # -- matching -------------------------------------------------------------
+
+    def match_session(self, session: TcpSession) -> Optional[Alert]:
+        """Evaluate all rules; retain the earliest-published match.
+
+        Returns None when no rule matches.
+        """
+        if not session.payload:
+            return None
+        self._ensure_compiled()
+        buffers = SessionBuffers(session.payload)
+        best: Optional[Tuple[datetime, Rule]] = None
+        for index in self._candidates(session.payload):
+            rule, published = self._rules[index]
+            if best is not None and published >= best[0]:
+                continue
+            if match_rule(rule, session, buffers, check_ports=not self._port_insensitive):
+                best = (published, rule)
+        if best is None:
+            return None
+        published, rule = best
+        return self._alert(rule, published, session)
+
+    def match_all(self, session: TcpSession) -> List[Alert]:
+        """All matching rules for a session (diagnostics / case studies)."""
+        alerts: List[Alert] = []
+        if not session.payload:
+            return alerts
+        self._ensure_compiled()
+        buffers = SessionBuffers(session.payload)
+        for index in sorted(self._candidates(session.payload)):
+            rule, published = self._rules[index]
+            if match_rule(rule, session, buffers, check_ports=not self._port_insensitive):
+                alerts.append(self._alert(rule, published, session))
+        return alerts
+
+    def _alert(self, rule: Rule, published: datetime, session: TcpSession) -> Alert:
+        cve_ids = rule.cve_ids
+        return Alert(
+            session_id=session.session_id,
+            timestamp=session.start,
+            sid=rule.sid,
+            cve_id=cve_ids[0] if cve_ids else None,
+            rule_published=published,
+            dst_ip=session.dst_ip,
+            dst_port=session.dst_port,
+            src_ip=session.src_ip,
+        )

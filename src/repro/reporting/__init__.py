@@ -1,0 +1,23 @@
+"""Reporting: render tables, extract figure series, export CSV/JSON.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent across benches, examples, and tests.
+"""
+
+from repro.reporting.tables import (
+    render_skill_table,
+    render_table3,
+    render_table6,
+)
+from repro.reporting.figures import FigureSeries, figure_series
+from repro.reporting.export import export_csv, export_json
+
+__all__ = [
+    "render_skill_table",
+    "render_table3",
+    "render_table6",
+    "FigureSeries",
+    "figure_series",
+    "export_csv",
+    "export_json",
+]

@@ -1,0 +1,111 @@
+"""Per-CVE lifecycle reports.
+
+A human-readable dossier for one studied CVE: its timeline (every lifecycle
+event with offsets from publication, in the paper's ``"90d 12h"``
+notation), desiderata outcomes, campaign statistics from a study run, and
+the windows of vulnerability.  The Appendix E bench and the CLI both render
+through this module, and it is the natural entry point for someone asking
+"what happened with CVE X?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.desiderata import DESIDERATA
+from repro.lifecycle.events import CveTimeline, LifecycleEvent, P
+from repro.lifecycle.exploit_events import ExploitEvent
+from repro.util.timeutil import format_offset
+
+_EVENT_NAMES = {
+    LifecycleEvent.VENDOR_AWARE: "vendor aware",
+    LifecycleEvent.FIX_READY: "fix ready",
+    LifecycleEvent.PUBLIC: "public",
+    LifecycleEvent.FIX_DEPLOYED: "fix deployed",
+    LifecycleEvent.EXPLOIT_PUBLIC: "exploit public",
+    LifecycleEvent.ATTACK: "first attack",
+}
+
+
+@dataclass(frozen=True)
+class CveReport:
+    """Structured dossier for one CVE."""
+
+    cve_id: str
+    timeline: CveTimeline
+    events_observed: int
+    mitigated_events: int
+    desiderata: Dict[str, Optional[bool]]
+
+    @property
+    def mitigated_share(self) -> Optional[float]:
+        if self.events_observed == 0:
+            return None
+        return self.mitigated_events / self.events_observed
+
+    @property
+    def violated_desiderata(self) -> List[str]:
+        return [
+            label for label, outcome in self.desiderata.items()
+            if outcome is False
+        ]
+
+
+def build_cve_report(
+    timeline: CveTimeline,
+    events: Sequence[ExploitEvent] = (),
+) -> CveReport:
+    """Assemble the dossier from a timeline and its observed events."""
+    outcomes = {
+        desideratum.label: desideratum.satisfied_by(timeline)
+        for desideratum in DESIDERATA
+    }
+    return CveReport(
+        cve_id=timeline.cve_id,
+        timeline=timeline,
+        events_observed=len(events),
+        mitigated_events=sum(1 for event in events if event.mitigated),
+        desiderata=outcomes,
+    )
+
+
+def render_cve_report(report: CveReport) -> str:
+    """Render the dossier as readable text."""
+    lines = [f"=== {report.cve_id} ==="]
+    published = report.timeline.time(P)
+    for event in LifecycleEvent:
+        when = report.timeline.time(event)
+        if when is None:
+            lines.append(f"  {_EVENT_NAMES[event]:14s} ({event.value})  unknown")
+            continue
+        if published is not None and event is not P:
+            offset = format_offset(when - published)
+            lines.append(
+                f"  {_EVENT_NAMES[event]:14s} ({event.value})  "
+                f"{when:%Y-%m-%d %H:%M}  (P {'+' if when >= published else '-'} "
+                f"{offset.lstrip('-')})"
+            )
+        else:
+            lines.append(
+                f"  {_EVENT_NAMES[event]:14s} ({event.value})  {when:%Y-%m-%d %H:%M}"
+            )
+    lines.append(f"  exploit events observed: {report.events_observed}")
+    if report.mitigated_share is not None:
+        lines.append(f"  mitigated: {report.mitigated_share:.0%}")
+    satisfied = [l for l, o in report.desiderata.items() if o]
+    violated = report.violated_desiderata
+    lines.append(f"  desiderata satisfied: {', '.join(satisfied) or 'none'}")
+    lines.append(f"  desiderata violated:  {', '.join(violated) or 'none'}")
+    return "\n".join(lines)
+
+
+def build_all_reports(
+    timelines: Mapping[str, CveTimeline],
+    events_per_cve: Mapping[str, Sequence[ExploitEvent]],
+) -> List[CveReport]:
+    """Dossiers for every CVE, sorted by id."""
+    return [
+        build_cve_report(timeline, events_per_cve.get(cve_id, ()))
+        for cve_id, timeline in sorted(timelines.items())
+    ]

@@ -1,0 +1,35 @@
+"""CSV/JSON exporters for figure series and table rows."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.reporting.figures import FigureSeries
+
+
+def export_csv(
+    path: Union[str, Path],
+    series: Iterable[FigureSeries],
+) -> int:
+    """Write figure series as long-form CSV (series, x, y); returns rows."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "y"])
+        for item in series:
+            for x, y in item.points:
+                writer.writerow([item.name, f"{x:.6g}", f"{y:.6g}"])
+                count += 1
+    return count
+
+
+def export_json(path: Union[str, Path], payload: object) -> None:
+    """Write any JSON-serialisable analysis payload, pretty-printed."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

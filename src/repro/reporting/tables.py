@@ -1,0 +1,44 @@
+"""Table renderers in the paper's layouts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.desiderata import desiderata_matrix
+from repro.core.skill import SkillReport
+from repro.util.tables import render_table
+
+
+def render_skill_table(
+    reports: Iterable[SkillReport], *, title: str = "Table 4"
+) -> str:
+    """Render Table 4 / Table 5: desideratum, satisfied, baseline, skill."""
+    rows = []
+    for report in reports:
+        evaluable = report.evaluated > 0
+        rows.append(
+            [
+                report.desideratum.label,
+                f"{report.observed:.2f}" if evaluable else None,
+                f"{report.baseline:.3f}" if report.baseline < 0.05 else f"{report.baseline:.2f}",
+                f"{report.skill:.2f}" if evaluable else None,
+            ]
+        )
+    return render_table(
+        ["Desideratum", "Satisfied", "Baseline", "Skill"], rows, title=title
+    )
+
+
+def render_table3(which: str = "householder-spring") -> str:
+    """Render a Table 3 desiderata matrix."""
+    rows = desiderata_matrix(which)
+    return render_table(rows[0], rows[1:], title=f"Table 3 ({which})")
+
+
+def render_table6(rows: List[List[object]]) -> str:
+    """Render the measured Log4Shell variant table."""
+    return render_table(
+        ["Group", "SID", "A - D (days)", "Context", "Match", "Adaptation", "Events"],
+        rows,
+        title="Table 6 (measured)",
+    )

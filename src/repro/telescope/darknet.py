@@ -1,0 +1,125 @@
+"""A conventional (darknet) telescope, for vantage-point comparison.
+
+The paper motivates DSCOPE by contrast with classical darknet telescopes
+(Merit ORION, CAIDA): a darknet holds routed-but-unused address space and
+*never completes TCP handshakes*, so it records SYNs — sources, ports,
+timing — but no application-layer payload.  Scanning that probes before
+exploiting is visible; the exploit payload itself never arrives.
+
+:class:`DarknetTelescope` models that vantage point over the same arrival
+stream the interactive telescope sees, which lets analyses quantify exactly
+what interactivity buys: without payloads, *zero* sessions can be
+attributed to CVEs by a signature engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.traffic.arrivals import ScanArrival
+from repro.util.timeutil import TimeWindow
+
+
+@dataclass(frozen=True)
+class SynObservation:
+    """What a darknet records per connection attempt: the SYN metadata."""
+
+    timestamp: datetime
+    src_ip: int
+    dst_port: int
+
+
+@dataclass
+class DarknetStats:
+    """Aggregates available from a darknet vantage point."""
+
+    syns: int = 0
+    source_ips: Set[int] = field(default_factory=set)
+    ports: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def unique_sources(self) -> int:
+        return len(self.source_ips)
+
+    def top_ports(self, count: int = 10) -> List[Tuple[int, int]]:
+        """(port, SYN count) pairs, heaviest first."""
+        ranked = sorted(self.ports.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+
+class DarknetTelescope:
+    """Record SYN metadata from an arrival stream (no interactivity)."""
+
+    def __init__(self, *, window: TimeWindow) -> None:
+        self.window = window
+        self.stats = DarknetStats()
+
+    def observe(self, arrivals: Iterable[ScanArrival]) -> List[SynObservation]:
+        """Observe a stream; returns the SYN log.
+
+        Every in-window arrival contributes exactly one SYN observation —
+        and nothing else: payloads are never received because the handshake
+        never completes, so downstream CVE attribution is impossible from
+        this vantage point.
+        """
+        observations: List[SynObservation] = []
+        for arrival in arrivals:
+            if not self.window.contains(arrival.timestamp):
+                continue
+            self.stats.syns += 1
+            self.stats.source_ips.add(arrival.src_ip)
+            self.stats.ports[arrival.dst_port] = (
+                self.stats.ports.get(arrival.dst_port, 0) + 1
+            )
+            observations.append(
+                SynObservation(
+                    timestamp=arrival.timestamp,
+                    src_ip=arrival.src_ip,
+                    dst_port=arrival.dst_port,
+                )
+            )
+        return observations
+
+
+@dataclass(frozen=True)
+class VantageComparison:
+    """Interactive vs darknet capability over the same traffic."""
+
+    arrivals: int
+    darknet_syns: int
+    darknet_attributable_sessions: int
+    interactive_sessions_with_payload: int
+    interactive_attributed_events: int
+
+    @property
+    def attribution_gain(self) -> float:
+        """Events the interactive vantage attributes per darknet-attributed
+        event (infinite in practice; reported as the raw interactive count
+        when the darknet attributes none)."""
+        if self.darknet_attributable_sessions == 0:
+            return float(self.interactive_attributed_events)
+        return (
+            self.interactive_attributed_events
+            / self.darknet_attributable_sessions
+        )
+
+
+def compare_vantage_points(
+    arrivals: List[ScanArrival],
+    *,
+    window: TimeWindow,
+    interactive_sessions_with_payload: int,
+    interactive_attributed_events: int,
+) -> VantageComparison:
+    """Run the darknet over the same stream and summarise the gap."""
+    darknet = DarknetTelescope(window=window)
+    observations = darknet.observe(arrivals)
+    return VantageComparison(
+        arrivals=len(arrivals),
+        darknet_syns=len(observations),
+        darknet_attributable_sessions=0,  # no payloads, no signatures
+        interactive_sessions_with_payload=interactive_sessions_with_payload,
+        interactive_attributed_events=interactive_attributed_events,
+    )

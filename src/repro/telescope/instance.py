@@ -1,0 +1,120 @@
+"""A single telescope instance: one cloud VM holding one IP for ~10 minutes.
+
+The instance is where the TCP behaviour lives: it completes handshakes on
+any port, accumulates client application data through the
+:class:`~repro.net.tcp.TcpHandshake` state machine, and never sends an
+application-layer byte.  At teardown it emits the sessions it captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import List, Optional
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.flow import FlowAssembler
+from repro.net.session import TcpSession
+from repro.traffic.arrivals import ScanArrival
+
+
+@dataclass
+class TelescopeInstance:
+    """One instance slot's tenancy of one IP address.
+
+    DSCOPE runs on preemptible (spot) instances — AWS may reclaim one
+    before its planned lifetime ends (paper Appendix A.1).  A preempted
+    instance stops receiving at ``preempted_at`` but still flushes whatever
+    it captured.
+    """
+
+    ip: int
+    region: str
+    slot: int
+    epoch: int
+    start: datetime
+    lifetime: timedelta
+    preempted_at: Optional[datetime] = None
+    _assembler: FlowAssembler = field(default_factory=FlowAssembler, repr=False)
+    _sessions: List[TcpSession] = field(default_factory=list, repr=False)
+    #: Ground-truth CVE per captured session (validation only; parallel to
+    #: the captured session list — the detection pipeline never reads it).
+    _truths: List[Optional[str]] = field(default_factory=list, repr=False)
+
+    @property
+    def planned_end(self) -> datetime:
+        return self.start + self.lifetime
+
+    @property
+    def end(self) -> datetime:
+        if self.preempted_at is not None:
+            return min(self.planned_end, self.preempted_at)
+        return self.planned_end
+
+    @property
+    def was_preempted(self) -> bool:
+        return self.preempted_at is not None and self.preempted_at < self.planned_end
+
+    def is_live(self, when: datetime) -> bool:
+        return self.start <= when < self.end
+
+    def receive(self, arrival: ScanArrival) -> None:
+        """Accept one scanner connection: full handshake, data, close.
+
+        Runs the arrival through the packet path (SYN → ACK → DATA → FIN) so
+        the TCP state machine and flow reassembly are exercised for every
+        captured session.
+        """
+        if not self.is_live(arrival.timestamp):
+            raise ValueError(
+                f"arrival at {arrival.timestamp} outside instance tenancy "
+                f"[{self.start}, {self.end})"
+            )
+        base = dict(
+            src_ip=arrival.src_ip,
+            src_port=arrival.src_port,
+            dst_ip=self.ip,
+            dst_port=arrival.dst_port,
+        )
+        step = timedelta(milliseconds=20)
+        packets = [
+            Packet(timestamp=arrival.timestamp, kind=PacketKind.SYN, **base),
+            Packet(timestamp=arrival.timestamp + step, kind=PacketKind.ACK, **base),
+        ]
+        if arrival.payload:
+            packets.append(
+                Packet(
+                    timestamp=arrival.timestamp + 2 * step,
+                    kind=PacketKind.DATA,
+                    seq=1,
+                    payload=arrival.payload,
+                    **base,
+                )
+            )
+        packets.append(
+            Packet(timestamp=arrival.timestamp + 3 * step, kind=PacketKind.FIN, **base)
+        )
+        before = len(self._sessions)
+        for packet in packets:
+            self._sessions.extend(self._assembler.feed(packet))
+        # Every completed flow from this arrival carries its ground truth.
+        self._truths.extend(
+            [arrival.truth_cve] * (len(self._sessions) - before)
+        )
+
+    def teardown(self) -> List[TcpSession]:
+        """Finish the tenancy; returns all captured sessions.
+
+        Ground truth for the returned sessions (same order) is available
+        via :meth:`truths`.
+        """
+        flushed = list(self._assembler.flush())
+        self._sessions.extend(flushed)
+        self._truths.extend([None] * len(flushed))
+        sessions, self._sessions = self._sessions, []
+        self._final_truths, self._truths = self._truths, []
+        return sessions
+
+    def truths(self) -> List[Optional[str]]:
+        """Ground-truth CVEs parallel to the last :meth:`teardown` result."""
+        return list(getattr(self, "_final_truths", []))

@@ -1,0 +1,37 @@
+"""Arrival records: what the synthetic Internet sends toward the telescope.
+
+A :class:`ScanArrival` is one attempted TCP session from a scanner: the
+telescope decides which of its live IPs receives it.  ``truth_cve`` carries
+ground truth for validation only — the detection pipeline never reads it
+(the NIDS must rediscover the attribution from payload bytes alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ScanArrival:
+    """One scanner-originated connection attempt."""
+
+    timestamp: datetime
+    src_ip: int
+    src_port: int
+    dst_port: int
+    payload: bytes = field(repr=False)
+    truth_cve: Optional[str] = None
+    variant_sid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 65535:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
+
+    @property
+    def is_exploit(self) -> bool:
+        """Ground-truth flag (validation only)."""
+        return self.truth_cve is not None

@@ -1,0 +1,177 @@
+"""Temporal models of exploit campaigns.
+
+The paper's measurements constrain the *shape* of per-CVE exploit timing:
+
+* the first event lands exactly at the CVE's measured A date (Appendix E);
+* exploitation spikes right after publication and decays (Figure 5c), with
+  50% of *unmitigated* exposure inside 30 days (Finding 12);
+* yet at the per-event level 95% of traffic arrives after a signature is
+  deployed (Table 5) — mass exploitation is dominated by botnet adoption of
+  *weaponized* exploits, which happens at or after the public-exploit date
+  X, usually well past rule deployment (Hikvision's campaign is the
+  canonical example: rule at P+50d, weaponized exploit at P+158d, tens of
+  thousands of events after that);
+* a long sustained tail continues for months or years (Figure 4), which is
+  why raw event counts grow over the study (Figure 3).
+
+:func:`exploit_event_times` composes four components honouring those
+constraints:
+
+1. **pre-publication scanning** — sparse events between the first
+   observation and publication, for CVEs attacked before disclosure
+   (Appendix C's untargeted OGNL traffic);
+2. **early probing** — a sharp exponential burst from max(P, A):
+   researchers and fast-moving scanners reacting to the advisory;
+3. **mass adoption** — the bulk of the campaign, an exponential wave from
+   the weaponization point: X when known, otherwise publication plus a
+   drawn weaponization delay;
+4. **long tail** — uniform over the remainder of the window (legacy
+   installs remain valuable targets).
+
+All draws come from a per-CVE RNG substream, so series are reproducible
+and independent across CVEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.seed_cves import SeedCve
+from repro.util.timeutil import TimeWindow
+
+
+@dataclass(frozen=True)
+class TemporalModel:
+    """Mixture weights and scales for a campaign's event times."""
+
+    prepub_weight: float = 0.08
+    early_weight: float = 0.17
+    early_scale_days: float = 10.0
+    mass_weight: float = 0.60
+    mass_scale_days: float = 45.0
+    tail_weight: float = 0.15
+
+    def __post_init__(self) -> None:
+        total = (
+            self.prepub_weight
+            + self.early_weight
+            + self.mass_weight
+            + self.tail_weight
+        )
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"mixture weights must sum to 1, got {total}")
+        if self.early_scale_days <= 0 or self.mass_scale_days <= 0:
+            raise ValueError("scales must be positive")
+
+
+DEFAULT_MODEL = TemporalModel()
+
+#: Model for case-study CVEs whose exploitation keeps growing over time
+#: (Confluence, Finding 18: "increasing rate of exploit sessions to date").
+GROWING_TAIL_MODEL = TemporalModel(
+    prepub_weight=0.05,
+    early_weight=0.15,
+    early_scale_days=8.0,
+    mass_weight=0.35,
+    mass_scale_days=60.0,
+    tail_weight=0.45,
+)
+
+
+def scaled_event_count(events: int, volume_scale: float) -> int:
+    """Number of events to generate at a volume scale (never below 1)."""
+    if volume_scale <= 0:
+        raise ValueError("volume_scale must be positive")
+    return max(1, round(events * volume_scale))
+
+
+def weaponization_point(
+    seed_cve: SeedCve,
+    first: datetime,
+    rng: np.random.Generator,
+) -> datetime:
+    """When mass adoption of the exploit begins.
+
+    The public-exploit date X when known; otherwise publication plus a
+    drawn weaponization delay (median ~3 weeks — PoCs circulate, get folded
+    into scan frameworks, botnets adopt).  Never before the campaign's
+    first observed event.
+    """
+    if seed_cve.exploit_public is not None:
+        anchor = seed_cve.exploit_public
+    else:
+        delay = float(rng.lognormal(mean=3.0, sigma=0.7))  # median ~20 days
+        anchor = seed_cve.published + timedelta(days=delay)
+    return max(anchor, first)
+
+
+def exploit_event_times(
+    seed_cve: SeedCve,
+    *,
+    window: TimeWindow,
+    rng: np.random.Generator,
+    volume_scale: float = 1.0,
+    model: Optional[TemporalModel] = None,
+) -> List[datetime]:
+    """Event timestamps for one CVE's campaign, sorted ascending.
+
+    The first timestamp is exactly the CVE's measured first-attack date
+    (clamped into the window); CVEs with no measured A start at publication
+    plus a short draw.  No generated event precedes the first one — A is by
+    definition the earliest observation.
+    """
+    model = model or DEFAULT_MODEL
+    count = scaled_event_count(seed_cve.events, volume_scale)
+
+    first = seed_cve.first_attack
+    if first is None:
+        first = seed_cve.published + timedelta(days=float(rng.exponential(10.0)))
+    first = window.clamp(first)
+
+    published = window.clamp(seed_cve.published)
+    early_anchor = max(published, first)
+    mass_anchor = window.clamp(weaponization_point(seed_cve, first, rng))
+    tail_span = max((window.end - mass_anchor).total_seconds(), 1.0)
+    prepub_span = (published - first).total_seconds()
+
+    times = [first]
+    if count > 1:
+        kinds = rng.uniform(size=count - 1)
+        prepub_cut = model.prepub_weight
+        early_cut = prepub_cut + model.early_weight
+        mass_cut = early_cut + model.mass_weight
+        for kind in kinds:
+            if kind < prepub_cut and prepub_span > 0:
+                when = first + timedelta(seconds=float(rng.uniform(0.0, prepub_span)))
+            elif kind < early_cut:
+                when = early_anchor + timedelta(
+                    days=float(rng.exponential(model.early_scale_days))
+                )
+            elif kind < mass_cut:
+                when = mass_anchor + timedelta(
+                    days=float(rng.exponential(model.mass_scale_days))
+                )
+            else:
+                when = mass_anchor + timedelta(
+                    seconds=float(rng.uniform(0.0, tail_span))
+                )
+            times.append(max(window.clamp(when), first))
+    times.sort()
+    return times
+
+
+def background_times(
+    *,
+    window: TimeWindow,
+    rng: np.random.Generator,
+    count: int,
+) -> List[datetime]:
+    """Uniform background-traffic timestamps across the window."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seconds = rng.uniform(0.0, window.duration.total_seconds(), size=count)
+    return sorted(window.start + timedelta(seconds=float(s)) for s in seconds)

@@ -1,0 +1,56 @@
+"""Shared utilities: time handling, deterministic RNG streams, statistics,
+ASCII tables, and IPv4 helpers.
+
+These modules deliberately have no dependencies on the rest of the package so
+that every subsystem (telescope, NIDS, datasets, analysis) can build on them
+without import cycles.
+"""
+
+from repro.util.timeutil import (
+    Duration,
+    TimeWindow,
+    format_offset,
+    hours,
+    days,
+    parse_offset,
+    to_days,
+    to_hours,
+    utc,
+)
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import (
+    Ecdf,
+    bin_counts,
+    ecdf,
+    fraction,
+    quantile,
+)
+from repro.util.tables import render_table
+from repro.util.iputil import (
+    format_ipv4,
+    ipv4_in_network,
+    parse_ipv4,
+)
+
+__all__ = [
+    "Duration",
+    "TimeWindow",
+    "format_offset",
+    "hours",
+    "days",
+    "parse_offset",
+    "to_days",
+    "to_hours",
+    "utc",
+    "derive_rng",
+    "derive_seed",
+    "Ecdf",
+    "bin_counts",
+    "ecdf",
+    "fraction",
+    "quantile",
+    "render_table",
+    "format_ipv4",
+    "ipv4_in_network",
+    "parse_ipv4",
+]

@@ -1,0 +1,73 @@
+"""IPv4 helpers.
+
+The telescope and traffic subsystems manipulate millions of addresses, so
+addresses are plain ints throughout the hot paths; these helpers convert at
+the edges and test CIDR membership without allocating objects.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit int.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit int as dotted-quad.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit address: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_cidr(text: str) -> Tuple[int, int]:
+    """Parse ``a.b.c.d/n`` into (network_base, prefix_length).
+
+    The base is masked to the prefix, so ``10.0.0.5/8`` normalises to the
+    ``10.0.0.0`` base.
+    """
+    address_text, _, prefix_text = text.partition("/")
+    if not prefix_text:
+        raise ValueError(f"missing prefix length: {text!r}")
+    prefix = int(prefix_text)
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix out of range: {text!r}")
+    mask = 0xFFFFFFFF ^ ((1 << (32 - prefix)) - 1) if prefix else 0
+    return parse_ipv4(address_text) & mask, prefix
+
+
+def ipv4_in_network(address: int, network: Tuple[int, int]) -> bool:
+    """Whether an address (int) falls within (base, prefix).
+
+    >>> ipv4_in_network(parse_ipv4("10.1.2.3"), parse_cidr("10.0.0.0/8"))
+    True
+    """
+    base, prefix = network
+    if prefix == 0:
+        return True
+    mask = 0xFFFFFFFF ^ ((1 << (32 - prefix)) - 1)
+    return (address & mask) == base
+
+
+def network_size(network: Tuple[int, int]) -> int:
+    """Number of addresses in a (base, prefix) network."""
+    return 1 << (32 - network[1])

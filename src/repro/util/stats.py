@@ -1,0 +1,104 @@
+"""Small statistics helpers used across the analyses.
+
+The paper's figures are almost all empirical CDFs and binned counts of event
+time differences; :class:`Ecdf` and :func:`bin_counts` are the shared
+implementations behind those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a finite sample.
+
+    ``xs`` is the sorted sample and ``ps`` the cumulative probability at each
+    sorted value, i.e. ``ps[i] = (i + 1) / n``.
+    """
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.xs.size)
+
+    def at(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution.
+
+        >>> Ecdf.from_values([1.0, 2.0, 3.0]).at(2.0)
+        0.6666666666666666
+        """
+        if self.n == 0:
+            raise ValueError("ECDF over empty sample")
+        return float(np.searchsorted(self.xs, x, side="right")) / self.n
+
+    def quantile(self, p: float) -> float:
+        """Smallest sample value x with P(X <= x) >= p."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"quantile level out of range: {p}")
+        index = int(np.ceil(p * self.n)) - 1
+        return float(self.xs[max(index, 0)])
+
+    def series(self) -> List[Tuple[float, float]]:
+        """The (x, P(X<=x)) step points, suitable for plotting/printing."""
+        return [(float(x), float(p)) for x, p in zip(self.xs, self.ps)]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Ecdf":
+        xs = np.sort(np.asarray(list(values), dtype=float))
+        if xs.size == 0:
+            return cls(xs=xs, ps=xs.copy())
+        ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+        return cls(xs=xs, ps=ps)
+
+
+def ecdf(values: Iterable[float]) -> Ecdf:
+    """Build an :class:`Ecdf` from an iterable of floats."""
+    return Ecdf.from_values(values)
+
+
+def fraction(items: Sequence[T], predicate: Callable[[T], bool]) -> float:
+    """Fraction of items satisfying a predicate.
+
+    >>> fraction([1, 2, 3, 4], lambda x: x % 2 == 0)
+    0.5
+    """
+    if not items:
+        raise ValueError("fraction over empty sequence")
+    return sum(1 for item in items if predicate(item)) / len(items)
+
+
+def bin_counts(
+    values: Iterable[float], *, bin_width: float, lo: float, hi: float
+) -> List[Tuple[float, int]]:
+    """Counts of values in fixed-width bins over [lo, hi).
+
+    Returns (bin_left_edge, count) for every bin, including empty ones, so
+    that histogram series have stable shapes.  Values outside [lo, hi) are
+    ignored.
+
+    >>> bin_counts([0.5, 1.5, 1.6], bin_width=1.0, lo=0.0, hi=3.0)
+    [(0.0, 1), (1.0, 2), (2.0, 0)]
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if hi <= lo:
+        raise ValueError("empty bin range")
+    edges = np.arange(lo, hi + bin_width / 2, bin_width)
+    data = np.asarray(list(values), dtype=float)
+    data = data[(data >= lo) & (data < hi)]
+    counts, _ = np.histogram(data, bins=edges)
+    return [(float(edge), int(count)) for edge, count in zip(edges[:-1], counts)]
+
+
+def quantile(values: Iterable[float], p: float) -> float:
+    """Empirical quantile (type-1 / inverse-ECDF convention)."""
+    return Ecdf.from_values(values).quantile(p)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness prints the same rows the paper reports; this renderer
+keeps the output aligned and diff-friendly without pulling in dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with two decimals (the paper's precision); None is
+    rendered as ``-`` to match Appendix E's missing-data convention.
+    """
+    text_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in text_rows)) if text_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

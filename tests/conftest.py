@@ -1,0 +1,29 @@
+"""Shared fixtures.
+
+The full study pipeline is deterministic, so one small-scale run is shared
+(session-scoped) by every integration-style test; unit tests build their own
+fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import StudyConfig, StudyResult, run_study
+
+
+@pytest.fixture(scope="session")
+def study() -> StudyResult:
+    """A small but complete study run (same seed as the benchmarks)."""
+    return run_study(
+        StudyConfig(
+            volume_scale=0.02,
+            background_per_exploit=0.3,
+            background_nvd_count=2000,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bundle(study: StudyResult):
+    return study.bundle

@@ -1,0 +1,106 @@
+"""Tests for the binary session-archive format."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.net.binformat import (
+    BinaryFormatError,
+    iter_binary,
+    load_binary,
+    save_binary,
+)
+from repro.net.pcapstore import SessionStore
+from repro.net.session import TcpSession
+from repro.util.timeutil import utc
+
+T0 = utc(2022, 5, 1, 8, 30)
+
+
+def _store(n=5):
+    store = SessionStore()
+    for i in range(n):
+        store.append(
+            TcpSession(
+                session_id=i,
+                start=T0 + timedelta(minutes=i, microseconds=250000),
+                end=T0 + timedelta(minutes=i, seconds=30) if i % 2 else None,
+                src_ip=0x2D000000 + i,
+                src_port=40000 + i,
+                dst_ip=0x03500000 + i,
+                dst_port=80,
+                payload=bytes(range(i * 10 % 256)) + b"payload",
+                established=bool(i % 3),
+            )
+        )
+    return store
+
+
+class TestBinaryRoundtrip:
+    def test_lossless(self, tmp_path):
+        store = _store()
+        path = tmp_path / "archive.bin"
+        save_binary(store, path)
+        loaded = load_binary(path)
+        assert list(loaded) == list(store)
+
+    def test_microsecond_timestamps_preserved(self, tmp_path):
+        store = _store(1)
+        path = tmp_path / "a.bin"
+        save_binary(store, path)
+        assert next(iter(load_binary(path))).start.microsecond == 250000
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        save_binary(SessionStore(), path)
+        assert len(load_binary(path)) == 0
+
+    def test_smaller_than_jsonl(self, tmp_path):
+        store = _store(50)
+        binary_path = tmp_path / "a.bin"
+        jsonl_path = tmp_path / "a.jsonl"
+        binary_size = save_binary(store, binary_path)
+        store.save(jsonl_path)
+        assert binary_size < jsonl_path.stat().st_size / 2
+
+
+class TestBinaryValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(BinaryFormatError):
+            list(iter_binary(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"DS")
+        with pytest.raises(BinaryFormatError):
+            list(iter_binary(path))
+
+    def test_truncated_payload(self, tmp_path):
+        store = _store(2)
+        path = tmp_path / "trunc.bin"
+        save_binary(store, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(BinaryFormatError):
+            list(iter_binary(path))
+
+    def test_trailing_garbage(self, tmp_path):
+        store = _store(1)
+        path = tmp_path / "trail.bin"
+        save_binary(store, path)
+        with path.open("ab") as handle:
+            handle.write(b"junk")
+        with pytest.raises(BinaryFormatError):
+            list(iter_binary(path))
+
+    def test_unsupported_version(self, tmp_path):
+        store = _store(1)
+        path = tmp_path / "ver.bin"
+        save_binary(store, path)
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # bump version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError):
+            list(iter_binary(path))

@@ -1,0 +1,68 @@
+"""Tests for bootstrap confidence intervals on skill."""
+
+import pytest
+
+from repro.core.bootstrap import bootstrap_skill
+from repro.core.skill import compute_skill, mean_skill
+from repro.datasets.loader import build_datasets
+from repro.lifecycle.assembly import assemble_timelines
+
+
+@pytest.fixture(scope="module")
+def timelines():
+    return assemble_timelines(build_datasets(background_count=100))
+
+
+@pytest.fixture(scope="module")
+def report(timelines):
+    return bootstrap_skill(timelines.values(), resamples=500, seed=7)
+
+
+class TestBootstrapSkill:
+    def test_point_estimates_match_compute_skill(self, timelines, report):
+        reference = {
+            r.desideratum.label: r.skill
+            for r in compute_skill(timelines.values())
+        }
+        for interval in report.intervals:
+            assert interval.skill_point == pytest.approx(
+                reference[interval.desideratum.label], abs=1e-9
+            )
+
+    def test_intervals_bracket_point(self, report):
+        for interval in report.intervals:
+            assert interval.skill_low <= interval.skill_point <= interval.skill_high
+
+    def test_mean_skill_bracketed(self, timelines, report):
+        reference = mean_skill(compute_skill(timelines.values()))
+        assert report.mean_skill_low <= reference <= report.mean_skill_high
+        assert report.mean_skill_point == pytest.approx(reference, abs=0.02)
+
+    def test_strong_desiderata_significant(self, report):
+        # P < A (skill 0.71 over 64 CVEs) should clear zero decisively.
+        assert report.interval("P < A").significantly_skillful
+        assert report.interval("D < X").significantly_skillful
+
+    def test_weak_desiderata_not_significant(self, report):
+        # F < P skill is 0.02 — indistinguishable from luck.
+        weak = report.interval("F < P")
+        assert not weak.significantly_skillful
+        assert not weak.significantly_unskillful
+
+    def test_interval_lookup(self, report):
+        with pytest.raises(KeyError):
+            report.interval("Z < Q")
+
+    def test_deterministic_given_seed(self, timelines):
+        a = bootstrap_skill(timelines.values(), resamples=200, seed=3)
+        b = bootstrap_skill(timelines.values(), resamples=200, seed=3)
+        assert a.mean_skill_low == b.mean_skill_low
+        assert a.interval("D < A").skill_high == b.interval("D < A").skill_high
+
+    def test_validation(self, timelines):
+        with pytest.raises(ValueError):
+            bootstrap_skill(timelines.values(), resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_skill(timelines.values(), confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_skill([])

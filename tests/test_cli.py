@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListSeedsBaselinesRules:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig11" in out
+
+    def test_seeds(self, capsys):
+        assert main(["seeds"]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2021-44228" in out
+        assert "90d 12h" in out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "0.037" in out  # paper's D < P baseline
+        assert "Markov" in out
+
+    def test_rules(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "sid:58722" in out  # Log4Shell variant rule
+        assert "sid:999001" in out  # false-positive rule
+
+    def test_rules_no_fp(self, capsys):
+        assert main(["rules", "--no-fp"]) == 0
+        out = capsys.readouterr().out
+        assert "sid:999001" not in out
+
+
+class TestRunAndExperiment:
+    def test_run_prints_table4(self, capsys):
+        assert main(["run", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4 (measured)" in out
+        assert "mean skill" in out
+        assert "CVE-2021-90001" in out  # dropped FP CVEs listed
+
+    def test_run_exports_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", "--scale", "0.01", "--out", str(out_dir)]) == 0
+        payload = json.loads((out_dir / "experiments.json").read_text())
+        assert "table4" in payload
+        assert (out_dir / "fig11.txt").exists()
+        assert (out_dir / "exposure_cdfs.csv").exists()
+
+    def test_experiment_finding7(self, capsys):
+        assert main(["experiment", "finding7", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "IDS-vendor inclusion" in out
+        assert "paper" in out and "measured" in out
+
+
+class TestReport:
+    def test_report_known_cve(self, capsys):
+        assert main(["report", "2021-44228", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2021-44228" in out
+        assert "first attack" in out
+
+    def test_report_unknown_cve(self, capsys):
+        assert main(["report", "CVE-1999-0001", "--scale", "0.01"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown CVE" in err
+
+
+class TestRulesLint:
+    def test_lint_flags_fp_rules(self, capsys):
+        assert main(["rules", "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "generic-endpoint" in out
+        assert "sid:999001" in out
+
+    def test_lint_clean_without_fp(self, capsys):
+        assert main(["rules", "--lint", "--no-fp"]) == 0
+        out = capsys.readouterr().out
+        assert "generic-endpoint" not in out

@@ -1,0 +1,50 @@
+"""Tests for per-CVE lifecycle reports."""
+
+import pytest
+
+from repro.reporting.cve_report import (
+    build_all_reports,
+    build_cve_report,
+    render_cve_report,
+)
+
+
+class TestCveReport:
+    @pytest.fixture(scope="class")
+    def log4shell_report(self, study):
+        timeline = study.timelines["CVE-2021-44228"]
+        events = study.events_per_cve["CVE-2021-44228"]
+        return build_cve_report(timeline, events)
+
+    def test_event_counts(self, log4shell_report, study):
+        assert log4shell_report.events_observed == len(
+            study.events_per_cve["CVE-2021-44228"]
+        )
+        assert 0 < log4shell_report.mitigated_events <= log4shell_report.events_observed
+
+    def test_desiderata_outcomes(self, log4shell_report):
+        # Log4Shell: rule within a day of publication, attacks within hours.
+        assert log4shell_report.desiderata["F < P"] is False
+        assert log4shell_report.desiderata["P < A"] is True
+
+    def test_render_contains_offsets(self, log4shell_report):
+        text = render_cve_report(log4shell_report)
+        assert "CVE-2021-44228" in text
+        assert "first attack" in text
+        assert "P +" in text
+        assert "desiderata violated" in text
+
+    def test_unknown_events_rendered(self, study):
+        report = build_cve_report(study.timelines["CVE-2022-44877"])
+        text = render_cve_report(report)
+        assert "unknown" in text
+        assert report.mitigated_share is None
+
+    def test_build_all_reports(self, study):
+        reports = build_all_reports(study.timelines, study.events_per_cve)
+        assert len(reports) == len(study.timelines)
+        assert reports == sorted(reports, key=lambda r: r.cve_id)
+
+    def test_violated_list(self, study):
+        report = build_cve_report(study.timelines["CVE-2021-44228"])
+        assert "F < P" in report.violated_desiderata

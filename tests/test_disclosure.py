@@ -1,0 +1,171 @@
+"""Tests for the disclosure-artifact schema and its pipeline adapters."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.datasets.loader import build_datasets
+from repro.disclosure.artifacts import (
+    DeploymentObservation,
+    DisclosureArtifact,
+    DisclosureEvent,
+    ExploitationReport,
+    FixRecord,
+    ValidationError,
+)
+from repro.disclosure.emit import (
+    artifacts_from_bundle,
+    load_artifacts,
+    save_artifacts,
+    timelines_from_artifacts,
+)
+from repro.lifecycle.assembly import assemble_timelines
+from repro.lifecycle.events import A, D, F, LifecycleEvent, P, V, X
+from repro.util.timeutil import utc
+
+T0 = utc(2022, 3, 1)
+
+
+def _artifact(**kwargs):
+    base = dict(cve_id="CVE-2022-0001", published=T0)
+    base.update(kwargs)
+    return DisclosureArtifact(**base)
+
+
+class TestSchema:
+    def test_party_kind_validated(self):
+        with pytest.raises(ValidationError):
+            DisclosureEvent(party_kind="friend", party="x", date=T0)
+
+    def test_deployment_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            DeploymentObservation(date=T0, deployed_fraction=1.5)
+
+    def test_malformed_cve_rejected(self):
+        artifact = _artifact(cve_id="NOT-A-CVE")
+        with pytest.raises(ValidationError):
+            artifact.validate()
+
+    def test_decreasing_deployment_rejected(self):
+        artifact = _artifact(
+            deployments=[
+                DeploymentObservation(date=T0, deployed_fraction=0.8),
+                DeploymentObservation(
+                    date=T0 + timedelta(days=1), deployed_fraction=0.2
+                ),
+            ]
+        )
+        with pytest.raises(ValidationError):
+            artifact.validate()
+
+    def test_roundtrip(self):
+        artifact = _artifact(
+            exploit_public=T0 + timedelta(days=4),
+            disclosures=[
+                DisclosureEvent("software-vendor", "Acme", T0 - timedelta(days=30)),
+                DisclosureEvent("ids-vendor", "Talos", T0 - timedelta(days=7)),
+            ],
+            fixes=[FixRecord("Acme", T0 - timedelta(days=2), scope="full")],
+            deployments=[DeploymentObservation(T0, 1.0)],
+            exploitation=[ExploitationReport(T0 + timedelta(days=1), "telescope")],
+        )
+        clone = DisclosureArtifact.from_dict(artifact.to_dict())
+        assert clone == artifact
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValidationError):
+            DisclosureArtifact.from_dict({"cve_id": "CVE-2022-1",
+                                          "published": "garbage"})
+
+
+class TestLifecycleDerivation:
+    def test_vendor_awareness_earliest_private(self):
+        artifact = _artifact(
+            disclosures=[
+                DisclosureEvent("software-vendor", "Acme", T0 - timedelta(days=30)),
+                DisclosureEvent("ids-vendor", "Talos", T0 - timedelta(days=7)),
+            ]
+        )
+        assert artifact.vendor_awareness() == T0 - timedelta(days=30)
+
+    def test_vendor_awareness_falls_back_to_publication(self):
+        assert _artifact().vendor_awareness() == T0
+
+    def test_fix_ready_earliest(self):
+        artifact = _artifact(
+            fixes=[
+                FixRecord("Acme", T0 + timedelta(days=5)),
+                FixRecord("Talos", T0 + timedelta(days=1), scope="mitigation"),
+            ]
+        )
+        assert artifact.fix_ready() == T0 + timedelta(days=1)
+
+    def test_fix_deployed_threshold(self):
+        artifact = _artifact(
+            deployments=[
+                DeploymentObservation(T0 + timedelta(days=1), 0.3),
+                DeploymentObservation(T0 + timedelta(days=5), 0.6),
+                DeploymentObservation(T0 + timedelta(days=9), 0.9),
+            ]
+        )
+        assert artifact.fix_deployed(threshold=0.5) == T0 + timedelta(days=5)
+        assert artifact.fix_deployed(threshold=0.95) is None
+
+    def test_first_exploitation_includes_retrospective(self):
+        artifact = _artifact(
+            exploitation=[
+                ExploitationReport(T0 + timedelta(days=3), "kev"),
+                ExploitationReport(
+                    T0 - timedelta(days=100), "telescope", retrospective=True
+                ),
+            ]
+        )
+        assert artifact.first_exploitation() == T0 - timedelta(days=100)
+
+    def test_empty_events_are_none(self):
+        artifact = _artifact()
+        assert artifact.fix_ready() is None
+        assert artifact.fix_deployed() is None
+        assert artifact.first_exploitation() is None
+
+
+class TestPipelineAdapters:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return build_datasets(background_count=100)
+
+    def test_artifact_per_studied_cve(self, bundle):
+        artifacts = artifacts_from_bundle(bundle)
+        assert len(artifacts) == len(bundle.studied)
+
+    def test_artifact_timelines_match_assembly(self, bundle):
+        """The artifact format must carry everything Section 5 needs: the
+        timelines assembled from artifacts equal the directly assembled
+        ones for every CVE and event."""
+        direct = assemble_timelines(bundle)
+        via_artifacts = timelines_from_artifacts(artifacts_from_bundle(bundle))
+        assert set(direct) == set(via_artifacts)
+        for cve_id, timeline in direct.items():
+            for event in LifecycleEvent:
+                assert via_artifacts[cve_id].time(event) == timeline.time(event), (
+                    cve_id, event,
+                )
+
+    def test_ids_vendor_disclosures_for_prepub_rules(self, bundle):
+        artifacts = {a.cve_id: a for a in artifacts_from_bundle(bundle)}
+        talos_row = artifacts["CVE-2021-21799"]
+        kinds = {event.party_kind for event in talos_row.disclosures}
+        assert "software-vendor" in kinds
+        assert "ids-vendor" in kinds  # rule predated publication
+
+    def test_retrospective_flag_for_prepub_attacks(self, bundle):
+        artifacts = {a.cve_id: a for a in artifacts_from_bundle(bundle)}
+        early = artifacts["CVE-2022-1388"]  # attacked 410 days before P
+        assert early.exploitation[0].retrospective
+
+    def test_save_load_roundtrip(self, bundle, tmp_path):
+        artifacts = artifacts_from_bundle(bundle)
+        path = tmp_path / "artifacts.jsonl"
+        assert save_artifacts(path, artifacts) == len(artifacts)
+        loaded = load_artifacts(path)
+        assert loaded == artifacts

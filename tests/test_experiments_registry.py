@@ -1,0 +1,65 @@
+"""Tests for the experiment registry: every paper artifact regenerates and
+lands within tolerance of the paper's reported shape."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+ALL_IDS = list_experiments()
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table3", "table4", "table5", "table6",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig11", "fig12",
+            "appendixD", "finding7",
+        }
+        assert set(ALL_IDS) == expected
+
+    def test_unknown_experiment_raises(self, study):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", study)
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_experiment_runs_and_reports(self, experiment_id, study):
+        result = run_experiment(experiment_id, study)
+        assert result.experiment_id == experiment_id
+        assert result.title
+        assert isinstance(result.text, str)
+        # Every paper-keyed quantity must have a measured counterpart.
+        for key in result.paper:
+            assert key in result.measured, (experiment_id, key)
+
+    def test_table4_within_tolerance(self, study):
+        result = run_experiment("table4", study)
+        for key, deviation in result.deviations().items():
+            assert abs(deviation) <= 0.05, (key, deviation)
+
+    def test_finding7_within_tolerance(self, study):
+        result = run_experiment("finding7", study)
+        deviations = result.deviations()
+        assert abs(deviations["D<A before"]) <= 0.05
+        assert abs(deviations["D<A after"]) <= 0.05
+
+    def test_appendix_d_within_tolerance(self, study):
+        result = run_experiment("appendixD", study)
+        for key, deviation in result.deviations().items():
+            assert abs(deviation) <= 0.03, (key, deviation)
+
+    def test_fig11_shape(self, study):
+        result = run_experiment("fig11", study)
+        assert result.measured["overlap CVEs"] == 44.0
+        assert abs(result.deviations()["DSCOPE-first rate"]) <= 0.1
+
+    def test_table5_contrast_against_table4(self, study):
+        table4 = run_experiment("table4", study)
+        table5 = run_experiment("table5", study)
+        # The paper's central modeling point: per-event D < A far exceeds
+        # per-CVE D < A.
+        assert table5.measured["D < A"] - table4.measured["D < A"] > 0.25

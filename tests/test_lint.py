@@ -1,0 +1,101 @@
+"""Tests for the ruleset linter."""
+
+import pytest
+
+from repro.exploits.rulegen import (
+    FALSE_POSITIVE_SIDS,
+    build_study_ruleset,
+    generate_all_rule_texts,
+)
+from repro.nids.lint import lint_rule, lint_rules
+from repro.nids.parser import parse_rule
+
+
+def _rule(options, header="alert tcp any any -> any any"):
+    return parse_rule(f'{header} (msg:"m"; {options} sid:77;)')
+
+
+class TestChecks:
+    def test_short_content(self):
+        findings = lint_rule(_rule('content:"ab"; reference:cve,2021-1;'))
+        assert any(f.check == "short-content" for f in findings)
+
+    def test_long_content_passes(self):
+        findings = lint_rule(
+            _rule('content:"/very/specific/exploit"; reference:cve,2021-1;')
+        )
+        assert not any(f.check == "short-content" for f in findings)
+
+    def test_generic_endpoint_flagged(self):
+        findings = lint_rule(
+            _rule('content:"/login.cgi"; http_uri; reference:cve,2021-1;')
+        )
+        assert any(f.check == "generic-endpoint" for f in findings)
+
+    def test_endpoint_with_structure_passes(self):
+        findings = lint_rule(
+            _rule('content:"/login.cgi?x=${jndi"; http_uri; reference:cve,2021-1;')
+        )
+        assert not any(f.check == "generic-endpoint" for f in findings)
+
+    def test_two_anchors_not_generic(self):
+        findings = lint_rule(
+            _rule(
+                'content:"/api/x"; http_uri; content:"payloadstring"; '
+                "http_client_body; reference:cve,2021-1;"
+            )
+        )
+        assert not any(f.check == "generic-endpoint" for f in findings)
+
+    def test_pure_pcre_flagged(self):
+        findings = lint_rule(_rule('pcre:"/evil/"; reference:cve,2021-1;'))
+        assert any(f.check == "no-fast-pattern" for f in findings)
+
+    def test_port_constrained(self):
+        findings = lint_rule(
+            _rule('content:"longenough"; reference:cve,2021-1;',
+                  header="alert tcp any any -> any 80")
+        )
+        assert any(f.check == "port-constrained" for f in findings)
+
+    def test_missing_cve(self):
+        findings = lint_rule(_rule('content:"longenough";'))
+        assert any(f.check == "missing-cve-reference" for f in findings)
+
+    def test_clean_rule_has_no_findings(self):
+        findings = lint_rule(
+            _rule('content:"/mgmt/tm/util/bash"; http_uri; reference:cve,2022-1388;')
+        )
+        assert findings == []
+
+
+class TestStudyRuleset:
+    def test_injected_fp_rules_flagged_generic(self):
+        """The linter must catch exactly the overly-general signatures the
+        paper's RCA prunes — before any traffic is matched."""
+        ruleset = build_study_ruleset(port_insensitive=False)
+        findings = lint_rules(ruleset.rules)
+        generic = {
+            f.sid for f in findings if f.check == "generic-endpoint"
+        }
+        assert generic == set(FALSE_POSITIVE_SIDS)
+
+    def test_all_rules_port_constrained_as_published(self):
+        """As published (pre-rewrite) every per-CVE rule constrains ports —
+        the motivation for the study's port-insensitive evaluation.
+        The Log4Shell Table 6 rules are the exception (written any-any)."""
+        from repro.nids.parser import parse_rule as parse
+
+        rules = [parse(text) for text, _ in generate_all_rule_texts()]
+        constrained = [r.sid for r in rules if not r.dst_ports.any_port]
+        assert len(constrained) == 63 + 2  # per-CVE + the two FP rules
+
+    def test_rewritten_ruleset_not_port_constrained(self):
+        ruleset = build_study_ruleset()  # port-insensitive default
+        findings = lint_rules(ruleset.rules)
+        assert not any(f.check == "port-constrained" for f in findings)
+
+    def test_all_rules_reference_cves(self):
+        ruleset = build_study_ruleset()
+        findings = lint_rules(ruleset.rules)
+        assert not any(f.check == "missing-cve-reference" for f in findings)

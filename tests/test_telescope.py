@@ -1,0 +1,218 @@
+"""Tests for the DSCOPE telescope simulator."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.telescope.collector import DscopeCollector
+from repro.telescope.config import TelescopeConfig
+from repro.telescope.instance import TelescopeInstance
+from repro.telescope.pool import REGION_BLOCKS, CloudIpPool
+from repro.traffic.arrivals import ScanArrival
+from repro.util.iputil import ipv4_in_network, parse_cidr
+from repro.util.timeutil import TimeWindow, utc
+
+WINDOW = TimeWindow(utc(2021, 3, 1), utc(2021, 3, 2))
+
+
+def _arrival(minute, *, src=0x2D010101, port=80, payload=b"GET / HTTP/1.1\r\n\r\n"):
+    return ScanArrival(
+        timestamp=WINDOW.start + timedelta(minutes=minute),
+        src_ip=src,
+        src_port=50000,
+        dst_port=port,
+        payload=payload,
+    )
+
+
+class TestTelescopeConfig:
+    def test_defaults_match_paper(self):
+        config = TelescopeConfig()
+        assert config.concurrent_instances == 300
+        assert config.instance_lifetime == timedelta(minutes=10)
+        # ~30k unique IPs per day at paper geometry.
+        assert config.ips_per_day == pytest.approx(300 * 144)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelescopeConfig(concurrent_instances=0)
+        with pytest.raises(ValueError):
+            TelescopeConfig(instance_lifetime=timedelta(0))
+        with pytest.raises(ValueError):
+            TelescopeConfig(regions=())
+
+    def test_region_striping(self):
+        config = TelescopeConfig()
+        regions = {config.region_for_slot(slot) for slot in range(16)}
+        assert regions == set(config.regions)
+
+
+class TestCloudIpPool:
+    def test_allocation_deterministic(self):
+        pool = CloudIpPool(seed=1)
+        a = pool.allocate("us-east-1", 0, 0)
+        b = pool.allocate("us-east-1", 0, 0)
+        assert a == b
+
+    def test_allocation_in_region_blocks(self):
+        pool = CloudIpPool(seed=1)
+        networks = [parse_cidr(c) for c in REGION_BLOCKS["eu-west-1"]]
+        for epoch in range(50):
+            address = pool.allocate("eu-west-1", 3, epoch)
+            assert any(ipv4_in_network(address, net) for net in networks)
+
+    def test_addresses_churn_across_epochs(self):
+        pool = CloudIpPool(seed=1)
+        addresses = {pool.allocate("us-east-1", 0, epoch) for epoch in range(100)}
+        assert len(addresses) > 95
+
+    def test_unknown_region_rejected(self):
+        pool = CloudIpPool(seed=1)
+        with pytest.raises(KeyError):
+            pool.allocate("mars-north-1", 0, 0)
+
+    def test_region_capacity(self):
+        pool = CloudIpPool(seed=1)
+        # /13 + /15 per region.
+        assert pool.region_capacity("us-east-1") == (1 << 19) + (1 << 17)
+
+
+class TestTelescopeInstance:
+    def _instance(self):
+        return TelescopeInstance(
+            ip=0x0A000001, region="us-east-1", slot=0, epoch=0,
+            start=WINDOW.start, lifetime=timedelta(minutes=10),
+        )
+
+    def test_receives_during_tenancy(self):
+        instance = self._instance()
+        instance.receive(_arrival(5))
+        sessions = instance.teardown()
+        assert len(sessions) == 1
+        assert sessions[0].payload == b"GET / HTTP/1.1\r\n\r\n"
+        assert sessions[0].dst_ip == 0x0A000001
+
+    def test_rejects_outside_tenancy(self):
+        instance = self._instance()
+        with pytest.raises(ValueError):
+            instance.receive(_arrival(15))
+
+    def test_empty_payload_still_captured(self):
+        instance = self._instance()
+        instance.receive(_arrival(1, payload=b""))
+        sessions = instance.teardown()
+        assert len(sessions) == 1
+        assert sessions[0].payload == b""
+
+    def test_is_live_half_open(self):
+        instance = self._instance()
+        assert instance.is_live(WINDOW.start)
+        assert not instance.is_live(WINDOW.start + timedelta(minutes=10))
+
+
+class TestDscopeCollector:
+    def test_collects_all_arrivals(self):
+        collector = DscopeCollector(
+            TelescopeConfig(concurrent_instances=10), window=WINDOW
+        )
+        arrivals = [_arrival(m) for m in range(0, 120, 2)]
+        store = collector.collect(arrivals)
+        assert len(store) == len(arrivals)
+        assert collector.stats.arrivals_routed == len(arrivals)
+        assert collector.stats.sessions_captured == len(arrivals)
+
+    def test_session_ids_globally_unique(self):
+        collector = DscopeCollector(
+            TelescopeConfig(concurrent_instances=4), window=WINDOW
+        )
+        store = collector.collect([_arrival(m) for m in range(100)])
+        ids = [session.session_id for session in store]
+        assert len(set(ids)) == len(ids)
+
+    def test_receiving_ips_churn_over_time(self):
+        collector = DscopeCollector(
+            TelescopeConfig(concurrent_instances=2), window=WINDOW
+        )
+        # Arrivals spread over 12 hours with 10-minute tenancies: many
+        # distinct receiving addresses.
+        collector.collect([_arrival(m) for m in range(0, 720, 30)])
+        assert collector.stats.unique_receiving_ips >= 20
+
+    def test_rejects_unsorted_stream(self):
+        collector = DscopeCollector(window=WINDOW)
+        with pytest.raises(ValueError):
+            collector.collect([_arrival(10), _arrival(5)])
+
+    def test_out_of_window_arrivals_skipped(self):
+        collector = DscopeCollector(window=WINDOW)
+        late = ScanArrival(
+            timestamp=WINDOW.end + timedelta(hours=1), src_ip=1, src_port=1,
+            dst_port=80, payload=b"x",
+        )
+        store = collector.collect([late])
+        assert len(store) == 0
+
+    def test_tenancy_geometry(self):
+        collector = DscopeCollector(
+            TelescopeConfig(concurrent_instances=10), window=WINDOW
+        )
+        when = WINDOW.start + timedelta(minutes=25)
+        epoch, start = collector.tenancy_for(0, when)
+        assert start <= when < start + timedelta(minutes=10)
+        # Stagger: slot 5 starts its tenancies offset by half a lifetime.
+        _, staggered_start = collector.tenancy_for(5, when)
+        assert staggered_start != start
+
+    def test_expected_unique_ips_order_of_magnitude(self):
+        from repro.datasets.seed_cves import STUDY_WINDOW
+
+        collector = DscopeCollector(window=STUDY_WINDOW)
+        # Paper: ~5M unique IPs over two years.
+        assert 4_000_000 < collector.expected_unique_ips < 6_000_000
+        assert collector.total_tenancies > 30_000_000
+
+    def test_sessions_preserve_payloads(self):
+        collector = DscopeCollector(window=WINDOW)
+        payload = b"\x00\x01binary\xff"
+        store = collector.collect([_arrival(3, payload=payload)])
+        assert next(iter(store)).payload == payload
+
+
+class TestPreemption:
+    def test_preempted_tenancies_lose_arrivals_but_flush_sessions(self):
+        config = TelescopeConfig(concurrent_instances=2, preemption_rate=0.5,
+                                 seed=99)
+        collector = DscopeCollector(config, window=WINDOW)
+        arrivals = [_arrival(m) for m in range(0, 360, 1)]
+        store = collector.collect(arrivals)
+        lost = collector.stats.arrivals_lost_to_preemption
+        assert lost > 0
+        assert len(store) + lost == len(arrivals)
+        # Captured sessions all predate their tenancy's end.
+        assert collector.stats.sessions_captured == len(store)
+
+    def test_preemption_deterministic(self):
+        config = TelescopeConfig(concurrent_instances=2, preemption_rate=0.5,
+                                 seed=99)
+        a = DscopeCollector(config, window=WINDOW)
+        b = DscopeCollector(config, window=WINDOW)
+        arrivals = [_arrival(m) for m in range(0, 120, 1)]
+        assert len(a.collect(arrivals)) == len(b.collect(arrivals))
+        assert (a.stats.arrivals_lost_to_preemption
+                == b.stats.arrivals_lost_to_preemption)
+
+    def test_rate_validation(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            TelescopeConfig(preemption_rate=1.5)
+
+    def test_instance_end_respects_preemption(self):
+        from datetime import timedelta as _td
+        instance = TelescopeInstance(
+            ip=1, region="us-east-1", slot=0, epoch=0, start=WINDOW.start,
+            lifetime=_td(minutes=10),
+            preempted_at=WINDOW.start + _td(minutes=4),
+        )
+        assert instance.was_preempted
+        assert instance.end == WINDOW.start + _td(minutes=4)
+        assert not instance.is_live(WINDOW.start + _td(minutes=5))

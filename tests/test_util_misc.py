@@ -1,0 +1,151 @@
+"""Unit tests for repro.util rng, stats, tables, and iputil."""
+
+import numpy as np
+import pytest
+
+from repro.util.iputil import (
+    format_ipv4,
+    ipv4_in_network,
+    network_size,
+    parse_cidr,
+    parse_ipv4,
+)
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import Ecdf, bin_counts, ecdf, fraction, quantile
+from repro.util.tables import render_table
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_key_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_no_prefix_collision(self):
+        # ("ab",) must differ from ("a", "b") — length-prefixed encoding.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_bytes_and_int_keys(self):
+        assert derive_seed(1, b"x") != derive_seed(1, "x")
+
+    def test_rejects_bad_key_type(self):
+        with pytest.raises(TypeError):
+            derive_seed(1, 3.14)
+
+    def test_rng_streams_independent(self):
+        a = derive_rng(9, "stream-a").uniform(size=5)
+        b = derive_rng(9, "stream-b").uniform(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestEcdf:
+    def test_at_interpolates_steps(self):
+        cdf = Ecdf.from_values([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(0.0) == 0.0
+        assert cdf.at(4.0) == 1.0
+
+    def test_quantile_median(self):
+        assert Ecdf.from_values([1, 2, 3]).quantile(0.5) == 2.0
+
+    def test_quantile_bounds(self):
+        cdf = Ecdf.from_values([5.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_at_raises(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_values([]).at(1.0)
+
+    def test_series_monotone(self):
+        cdf = ecdf([3.0, 1.0, 2.0, 2.0])
+        points = cdf.series()
+        xs = [x for x, _ in points]
+        ps = [p for _, p in points]
+        assert xs == sorted(xs)
+        assert ps == sorted(ps)
+        assert ps[-1] == 1.0
+
+
+class TestStatsHelpers:
+    def test_fraction(self):
+        assert fraction([1, 2, 3, 4], lambda x: x > 2) == 0.5
+
+    def test_fraction_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction([], bool)
+
+    def test_bin_counts_includes_empty_bins(self):
+        bins = bin_counts([0.5], bin_width=1.0, lo=0.0, hi=3.0)
+        assert bins == [(0.0, 1), (1.0, 0), (2.0, 0)]
+
+    def test_bin_counts_ignores_out_of_range(self):
+        bins = bin_counts([-1.0, 5.0], bin_width=1.0, lo=0.0, hi=2.0)
+        assert sum(count for _, count in bins) == 0
+
+    def test_bin_counts_validation(self):
+        with pytest.raises(ValueError):
+            bin_counts([], bin_width=0, lo=0, hi=1)
+        with pytest.raises(ValueError):
+            bin_counts([], bin_width=1, lo=1, hi=1)
+
+    def test_quantile(self):
+        assert quantile([10, 20, 30, 40], 0.25) == 10
+
+
+class TestRenderTable:
+    def test_alignment_and_none(self):
+        text = render_table(["a", "bb"], [[1, None], [22, 3.14159]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert "3.14" in lines[3]
+        assert lines[2].split()[1] == "-"
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestIpUtil:
+    def test_roundtrip(self):
+        assert format_ipv4(parse_ipv4("203.0.113.9")) == "203.0.113.9"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "256.1.1.1", "a.b.c.d", "1.2.3.4.5"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 33)
+
+    def test_cidr_normalises_base(self):
+        base, prefix = parse_cidr("10.0.0.5/8")
+        assert format_ipv4(base) == "10.0.0.0"
+        assert prefix == 8
+
+    def test_cidr_requires_prefix(self):
+        with pytest.raises(ValueError):
+            parse_cidr("10.0.0.0")
+
+    def test_membership(self):
+        network = parse_cidr("192.168.0.0/16")
+        assert ipv4_in_network(parse_ipv4("192.168.5.5"), network)
+        assert not ipv4_in_network(parse_ipv4("192.169.0.1"), network)
+
+    def test_zero_prefix_matches_everything(self):
+        assert ipv4_in_network(parse_ipv4("8.8.8.8"), parse_cidr("0.0.0.0/0"))
+
+    def test_network_size(self):
+        assert network_size(parse_cidr("10.0.0.0/24")) == 256

@@ -1,0 +1,114 @@
+"""Tests for the darknet vantage comparison and live-mode IDS evaluation."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.datasets.seed_cves import STUDY_WINDOW
+from repro.nids.live import (
+    LiveComparison,
+    LiveDetectionEngine,
+    compare_live_vs_wayback,
+)
+from repro.nids.parser import parse_rule
+from repro.nids.ruleset import Ruleset
+from repro.net.session import TcpSession
+from repro.telescope.darknet import (
+    DarknetTelescope,
+    compare_vantage_points,
+)
+from repro.traffic.arrivals import ScanArrival
+from repro.util.timeutil import utc
+
+
+def _arrival(day, port=80, src=1):
+    return ScanArrival(
+        timestamp=STUDY_WINDOW.start + timedelta(days=day),
+        src_ip=src, src_port=50000, dst_port=port, payload=b"EXPLOIT",
+    )
+
+
+def _session(day, payload=b"TOKEN"):
+    return TcpSession(
+        session_id=day, start=utc(2021, 3, 1) + timedelta(days=day),
+        src_ip=1, src_port=1, dst_ip=2, dst_port=80, payload=payload,
+    )
+
+
+class TestDarknet:
+    def test_records_syn_metadata_only(self):
+        darknet = DarknetTelescope(window=STUDY_WINDOW)
+        observations = darknet.observe([_arrival(1), _arrival(2, port=443)])
+        assert len(observations) == 2
+        assert not hasattr(observations[0], "payload")
+        assert darknet.stats.unique_sources == 1
+        assert darknet.stats.ports == {80: 1, 443: 1}
+
+    def test_out_of_window_ignored(self):
+        darknet = DarknetTelescope(window=STUDY_WINDOW)
+        darknet.observe([_arrival(-5), _arrival(9999)])
+        assert darknet.stats.syns == 0
+
+    def test_top_ports(self):
+        darknet = DarknetTelescope(window=STUDY_WINDOW)
+        darknet.observe(
+            [_arrival(i, port=80) for i in range(5)]
+            + [_arrival(i, port=443) for i in range(2)]
+        )
+        assert darknet.stats.top_ports(1) == [(80, 5)]
+
+    def test_comparison_attribution_gap(self):
+        arrivals = [_arrival(i) for i in range(10)]
+        comparison = compare_vantage_points(
+            arrivals,
+            window=STUDY_WINDOW,
+            interactive_sessions_with_payload=10,
+            interactive_attributed_events=8,
+        )
+        assert comparison.darknet_syns == 10
+        assert comparison.darknet_attributable_sessions == 0
+        assert comparison.attribution_gain == 8.0
+
+
+class TestLiveEngine:
+    def _ruleset(self):
+        ruleset = Ruleset()
+        ruleset.add(
+            parse_rule(
+                'alert tcp any any -> any any (msg:"m"; content:"TOKEN"; '
+                "reference:cve,2021-0001; sid:1;)"
+            ),
+            utc(2021, 6, 1),  # published 92 days into the window
+        )
+        return ruleset
+
+    def test_live_misses_pre_publication_traffic(self):
+        ruleset = self._ruleset()
+        sessions = [_session(day) for day in (10, 50, 120, 200)]
+        comparison = compare_live_vs_wayback(ruleset, sessions)
+        assert comparison.retrospective_alerts == 4
+        assert comparison.live_alerts == 2  # days 120 and 200 only
+        assert comparison.missed_live == 2
+        assert comparison.missed_share == 0.5
+
+    def test_deployment_lag_misses_more(self):
+        ruleset = self._ruleset()
+        sessions = [_session(day) for day in (10, 50, 120, 200)]
+        comparison = compare_live_vs_wayback(
+            ruleset, sessions, deployment_lag=timedelta(days=60)
+        )
+        assert comparison.live_alerts == 1  # only day 200 clears June+60d
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            LiveDetectionEngine(self._ruleset(), deployment_lag=timedelta(days=-1))
+
+    def test_on_study_run(self, study):
+        """The wayback advantage on real study traffic: every
+        pre-publication (unmitigated) event is invisible live."""
+        sessions = list(study.store)
+        comparison = compare_live_vs_wayback(study.ruleset, sessions)
+        assert comparison.retrospective_alerts == len(study.alerts)
+        pre_publication = sum(1 for a in study.alerts if a.pre_publication)
+        assert comparison.missed_live == pre_publication
+        assert comparison.missed_live > 0
