@@ -4,7 +4,17 @@ Unlike the per-figure benches (which time artifact regeneration on a cached
 study run), these measure the system's throughput: traffic generation,
 telescope capture, and NIDS scanning — the pieces a downstream user would
 size a deployment with.
+
+``test_nids_scan_parallel_speedup`` additionally times the serial vs
+multiprocess scan on the session-scoped full-scale store and writes a
+machine-readable ``results/BENCH_pipeline.json`` (sessions/sec, speedup,
+worker count), so the perf trajectory is tracked across PRs.  Worker count
+defaults to 4; override with ``REPRO_BENCH_SCAN_WORKERS``.
 """
+
+import json
+import os
+import time
 
 from repro.datasets.seed_cves import STUDY_WINDOW
 from repro.exploits.rulegen import build_study_ruleset
@@ -12,6 +22,8 @@ from repro.nids.engine import DetectionEngine
 from repro.telescope.collector import DscopeCollector
 from repro.telescope.config import TelescopeConfig
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
+
+SCAN_WORKERS = int(os.environ.get("REPRO_BENCH_SCAN_WORKERS", "4"))
 
 
 def _small_config():
@@ -50,6 +62,45 @@ def test_nids_scan_throughput(benchmark):
 
     alerts = benchmark.pedantic(scan, rounds=3, iterations=1)
     assert alerts
+
+
+def test_nids_scan_parallel_speedup(study_full, results_dir):
+    """Serial vs multiprocess scan on the full-scale store.
+
+    Asserts the parallel scan is *identical* to the serial one and records
+    both throughputs to ``BENCH_pipeline.json``.  The speedup itself is
+    recorded, not asserted — it is a property of the host (cores), not of
+    the code.
+    """
+    store = study_full.store
+    ruleset = build_study_ruleset()
+
+    start = time.perf_counter()
+    serial_alerts = DetectionEngine(ruleset).scan(store)
+    serial_seconds = time.perf_counter() - start
+
+    parallel_engine = DetectionEngine(ruleset, workers=SCAN_WORKERS)
+    start = time.perf_counter()
+    parallel_alerts = parallel_engine.scan(store)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel_alerts == serial_alerts
+    sessions = len(store)
+    payload = {
+        "sessions": sessions,
+        "alerts": len(serial_alerts),
+        "workers": SCAN_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "serial_sessions_per_sec": round(sessions / serial_seconds, 1),
+        "parallel_sessions_per_sec": round(sessions / parallel_seconds, 1),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "volume_scale": study_full.config.volume_scale,
+    }
+    (results_dir / "BENCH_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 def test_ruleset_build(benchmark):

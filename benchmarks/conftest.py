@@ -5,6 +5,12 @@ events; scale with ``REPRO_BENCH_SCALE``) is shared by every benchmark.
 Each bench times the *regeneration* of one paper artifact from that run,
 asserts the measured values land within shape tolerance of the paper, and
 writes a paper-vs-measured report to ``benchmarks/results/``.
+
+The run's heavy intermediates are served from the on-disk study cache
+(``~/.cache/repro`` unless ``REPRO_CACHE_DIR`` overrides it), so repeated
+bench sessions — and any other process studying the same configuration —
+skip generation, capture, and scanning entirely.  Set ``REPRO_BENCH_CACHE=0``
+to force a cold build, and ``REPRO_BENCH_WORKERS`` to parallelise one.
 """
 
 from __future__ import annotations
@@ -15,20 +21,29 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.pipeline import StudyConfig, StudyResult, run_study
+from repro.cache import StudyCache
 from repro.experiments.registry import ExperimentResult, run_experiment
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+
+
+def bench_config() -> StudyConfig:
+    """The configuration every benchmark session studies."""
+    return StudyConfig(
+        volume_scale=BENCH_SCALE,
+        background_per_exploit=1.0,
+        background_nvd_count=20000,
+        workers=BENCH_WORKERS,
+    )
 
 
 @pytest.fixture(scope="session")
 def study_full() -> StudyResult:
-    """The study run benchmarks analyse (built once per session)."""
+    """The study run benchmarks analyse (cached across sessions)."""
     return run_study(
-        StudyConfig(
-            volume_scale=BENCH_SCALE,
-            background_per_exploit=1.0,
-            background_nvd_count=20000,
-        )
+        bench_config(), cache=StudyCache() if BENCH_CACHE else None
     )
 
 

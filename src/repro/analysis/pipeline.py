@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import timedelta
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_datasets
 from repro.exploits.rulegen import build_study_ruleset
@@ -43,7 +44,12 @@ from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 @dataclass(frozen=True)
 class StudyConfig:
-    """Configuration for one full study run."""
+    """Configuration for one full study run.
+
+    ``workers`` is an *execution* knob: it sets how many worker processes
+    generate traffic and scan sessions, and can never change the result
+    (the study cache keys ignore it for the same reason).
+    """
 
     seed: int = DEFAULT_SEED
     volume_scale: float = 0.1
@@ -51,6 +57,11 @@ class StudyConfig:
     background_nvd_count: int = 20000
     rule_delay: timedelta = timedelta(0)
     telescope_instances: int = 300
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     #: Named presets: quick (CI-sized), standard (interactive), full (the
     #: paper's complete traffic volume).
@@ -64,7 +75,9 @@ class StudyConfig:
     }
 
     @classmethod
-    def preset(cls, name: str, *, seed: int = DEFAULT_SEED) -> "StudyConfig":
+    def preset(
+        cls, name: str, *, seed: int = DEFAULT_SEED, workers: int = 1
+    ) -> "StudyConfig":
         """A named configuration preset.
 
         >>> StudyConfig.preset("full").volume_scale
@@ -76,7 +89,7 @@ class StudyConfig:
             raise KeyError(
                 f"unknown preset {name!r}; known: {sorted(cls.PRESETS)}"
             ) from None
-        return cls(seed=seed, **values)
+        return cls(seed=seed, workers=workers, **values)
 
 
 @dataclass
@@ -96,6 +109,9 @@ class StudyResult:
     #: session_id -> ground-truth CVE (validation only; the detection
     #: pipeline never reads it).
     ground_truth: Dict[int, Optional[str]] = field(default_factory=dict)
+    #: Whether the heavy stages (generation, capture, scan) were served
+    #: from the on-disk study cache instead of recomputed.
+    from_cache: bool = False
 
     @property
     def kept_cves(self) -> List[str]:
@@ -119,36 +135,83 @@ class StudyResult:
         return kept
 
 
-def run_study(config: Optional[StudyConfig] = None) -> StudyResult:
-    """Run the complete pipeline and return its result."""
+def _resolve_cache(cache: "CacheLike") -> Optional["StudyCache"]:
+    """Normalise the ``cache`` argument of :func:`run_study`."""
+    if cache is None or cache is False:
+        return None
+    from repro.cache import StudyCache
+
+    if cache is True:
+        return StudyCache()
+    if isinstance(cache, (str, Path)):
+        return StudyCache(root=cache)
+    return cache
+
+
+CacheLike = Union[None, bool, str, Path, "StudyCache"]
+
+
+def run_study(
+    config: Optional[StudyConfig] = None, *, cache: CacheLike = None
+) -> StudyResult:
+    """Run the complete pipeline and return its result.
+
+    ``cache`` enables the on-disk study cache: pass True (default root,
+    ``~/.cache/repro``), a root path, or a :class:`repro.cache.StudyCache`.
+    On a hit, traffic generation, telescope capture, and the NIDS scan are
+    skipped entirely and their outputs are loaded from disk; the (cheap)
+    analysis stages always run.
+    """
     config = config or StudyConfig()
+    study_cache = _resolve_cache(cache)
     bundle = build_datasets(
         seed=config.seed,
         background_count=config.background_nvd_count,
         rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
     )
-
-    generator = TrafficGenerator(
-        TrafficConfig(
-            seed=config.seed,
-            volume_scale=config.volume_scale,
-            background_per_exploit=config.background_per_exploit,
-        ),
-        window=bundle.window,
-    )
-    arrivals = generator.generate()
-
-    collector = DscopeCollector(
-        TelescopeConfig(
-            concurrent_instances=config.telescope_instances, seed=config.seed
-        ),
-        window=bundle.window,
-    )
-    store = collector.collect(arrivals)
-
     ruleset = build_study_ruleset(rule_delay=config.rule_delay)
-    engine = DetectionEngine(ruleset)
-    alerts = engine.scan(store)
+
+    cached = study_cache.load(config) if study_cache is not None else None
+    if cached is not None:
+        store = cached.store
+        alerts = cached.alerts
+        collection_stats = cached.collection_stats
+        ground_truth = cached.ground_truth
+        from_cache = True
+    else:
+        generator = TrafficGenerator(
+            TrafficConfig(
+                seed=config.seed,
+                volume_scale=config.volume_scale,
+                background_per_exploit=config.background_per_exploit,
+            ),
+            window=bundle.window,
+        )
+        arrivals = generator.generate(workers=config.workers)
+
+        collector = DscopeCollector(
+            TelescopeConfig(
+                concurrent_instances=config.telescope_instances,
+                seed=config.seed,
+            ),
+            window=bundle.window,
+        )
+        store = collector.collect(arrivals)
+
+        engine = DetectionEngine(ruleset, workers=config.workers)
+        alerts = engine.scan(store)
+        collection_stats = collector.stats
+        ground_truth = collector.ground_truth
+        from_cache = False
+        if study_cache is not None:
+            study_cache.save(
+                config,
+                arrivals=arrivals,
+                store=store,
+                alerts=alerts,
+                collection_stats=collection_stats,
+                ground_truth=ground_truth,
+            )
 
     events = events_from_alerts(alerts)
     grouped = events_by_cve(events)
@@ -168,6 +231,7 @@ def run_study(config: Optional[StudyConfig] = None) -> StudyResult:
         events_per_cve=kept,
         rca_decisions=decisions,
         timelines=timelines,
-        collection_stats=collector.stats,
-        ground_truth=collector.ground_truth,
+        collection_stats=collection_stats,
+        ground_truth=ground_truth,
+        from_cache=from_cache,
     )

@@ -1,0 +1,28 @@
+"""On-disk caching of study intermediates.
+
+The paper's measurement is one expensive pass (two years of traffic scanned
+post-facto) feeding many cheap analyses; this package makes the expensive
+pass run once per configuration *per machine* instead of once per process.
+See :mod:`repro.cache.study` for keying and invalidation rules.
+"""
+
+from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint
+from repro.cache.study import (
+    CACHE_SCHEMA,
+    CachedStudy,
+    StudyCache,
+    default_cache_root,
+    semantic_config,
+    study_key,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CachedStudy",
+    "STAGE_MODULES",
+    "StudyCache",
+    "code_fingerprint",
+    "default_cache_root",
+    "semantic_config",
+    "study_key",
+]

@@ -1,0 +1,68 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached study is only valid while the code that produced it is unchanged.
+Rather than trusting a manually bumped version number, the cache key folds
+in a digest of the *source bytes* of every module on the generate → capture
+→ scan path: edit any of them and every existing entry silently becomes a
+miss.  (Pure-analysis modules downstream of the cached stages are excluded
+on purpose — they rerun on every study anyway.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Tuple
+
+from repro._version import __version__
+
+#: Every module whose behaviour shapes the cached intermediates (arrival
+#: stream, session store, alert list).
+STAGE_MODULES: Tuple[str, ...] = (
+    "repro.analysis.pipeline",
+    "repro.datasets.loader",
+    "repro.datasets.seed_cves",
+    "repro.datasets.seed_log4shell",
+    "repro.exploits.log4shell",
+    "repro.exploits.rulegen",
+    "repro.exploits.templates",
+    "repro.net.pcapstore",
+    "repro.net.session",
+    "repro.nids.automaton",
+    "repro.nids.engine",
+    "repro.nids.matcher",
+    "repro.nids.parser",
+    "repro.nids.rule",
+    "repro.nids.ruleset",
+    "repro.telescope.collector",
+    "repro.telescope.config",
+    "repro.telescope.instance",
+    "repro.telescope.pool",
+    "repro.traffic.actors",
+    "repro.traffic.arrivals",
+    "repro.traffic.generator",
+    "repro.traffic.temporal",
+    "repro.util.rng",
+    "repro.util.timeutil",
+)
+
+
+@lru_cache(maxsize=8)
+def _fingerprint(module_names: Tuple[str, ...]) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(__version__.encode("utf-8"))
+    for name in module_names:
+        module = importlib.import_module(name)
+        source = inspect.getsourcefile(module)
+        hasher.update(name.encode("utf-8"))
+        if source is not None:
+            hasher.update(Path(source).read_bytes())
+    return hasher.hexdigest()
+
+
+def code_fingerprint(module_names: Iterable[str] = STAGE_MODULES) -> str:
+    """Digest of the package version plus the stage modules' source bytes."""
+    return _fingerprint(tuple(module_names))

@@ -1,0 +1,358 @@
+"""On-disk cache of a study run's heavy intermediates.
+
+The pipeline's expensive stages — traffic generation, telescope capture,
+and the NIDS scan — are pure functions of the :class:`StudyConfig` and the
+code that implements them.  :class:`StudyCache` persists their outputs
+(arrival stream, session store, alert list, collection statistics, ground
+truth) under a content-addressed directory, so any process — the CLI, the
+benchmark harness, the test suite — can reuse a study another process
+already computed.
+
+Keying and invalidation:
+
+* the key digests every *semantic* config field (seed, scales, counts,
+  delays) — execution knobs like ``workers`` are excluded, because they
+  cannot change the result;
+* the key also folds in :func:`repro.cache.fingerprint.code_fingerprint`,
+  a digest of the stage modules' source bytes, so editing pipeline code
+  invalidates every prior entry without version bookkeeping;
+* entries are written to a temp directory and renamed into place, so a
+  crashed writer never leaves a readable-but-corrupt entry, and concurrent
+  writers race benignly (first one wins).
+
+The default root is ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``
+or the ``root=`` argument; ``XDG_CACHE_HOME`` is honoured).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.cache.fingerprint import code_fingerprint
+from repro.net.pcapstore import (
+    SessionStore,
+    _TIME_FORMAT,
+    decode_session,
+    encode_session,
+)
+from repro.nids.ruleset import Alert
+from repro.telescope.collector import CollectionStats
+from repro.traffic.arrivals import ScanArrival
+
+#: Bump when the on-disk entry layout changes (not when pipeline code does —
+#: the code fingerprint covers that).
+CACHE_SCHEMA = 1
+
+#: Config fields that select *how* a study runs, not *what* it computes;
+#: they are excluded from the cache key so e.g. ``workers=1`` and
+#: ``workers=8`` share an entry.
+EXECUTION_FIELDS = frozenset({"workers"})
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def semantic_config(config) -> Dict[str, object]:
+    """The key-relevant view of a (dataclass) study config."""
+    semantic: Dict[str, object] = {}
+    for field in dataclasses.fields(config):
+        if field.name in EXECUTION_FIELDS:
+            continue
+        value = getattr(config, field.name)
+        if isinstance(value, timedelta):
+            value = value.total_seconds()
+        semantic[field.name] = value
+    return semantic
+
+
+def study_key(config) -> str:
+    """Content hash identifying one study's intermediates."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "code": code_fingerprint(),
+            "config": semantic_config(config),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+# -- record serialisation ---------------------------------------------------
+
+
+def _encode_alert(alert: Alert) -> dict:
+    return {
+        "session_id": alert.session_id,
+        "timestamp": alert.timestamp.strftime(_TIME_FORMAT),
+        "sid": alert.sid,
+        "cve_id": alert.cve_id,
+        "rule_published": alert.rule_published.strftime(_TIME_FORMAT),
+        "dst_ip": alert.dst_ip,
+        "dst_port": alert.dst_port,
+        "src_ip": alert.src_ip,
+    }
+
+
+def _decode_alert(record: dict) -> Alert:
+    return Alert(
+        session_id=record["session_id"],
+        timestamp=datetime.strptime(record["timestamp"], _TIME_FORMAT),
+        sid=record["sid"],
+        cve_id=record["cve_id"],
+        rule_published=datetime.strptime(record["rule_published"], _TIME_FORMAT),
+        dst_ip=record["dst_ip"],
+        dst_port=record["dst_port"],
+        src_ip=record["src_ip"],
+    )
+
+
+def _encode_arrival(arrival: ScanArrival) -> dict:
+    import base64
+
+    return {
+        "timestamp": arrival.timestamp.strftime(_TIME_FORMAT),
+        "src_ip": arrival.src_ip,
+        "src_port": arrival.src_port,
+        "dst_port": arrival.dst_port,
+        "payload": base64.b64encode(arrival.payload).decode("ascii"),
+        "truth_cve": arrival.truth_cve,
+        "variant_sid": arrival.variant_sid,
+    }
+
+
+def _decode_arrival(record: dict) -> ScanArrival:
+    import base64
+
+    return ScanArrival(
+        timestamp=datetime.strptime(record["timestamp"], _TIME_FORMAT),
+        src_ip=record["src_ip"],
+        src_port=record["src_port"],
+        dst_port=record["dst_port"],
+        payload=base64.b64decode(record["payload"]),
+        truth_cve=record["truth_cve"],
+        variant_sid=record["variant_sid"],
+    )
+
+
+def _encode_stats(stats: CollectionStats) -> dict:
+    return {
+        "arrivals_routed": stats.arrivals_routed,
+        "sessions_captured": stats.sessions_captured,
+        "tenancies_materialised": stats.tenancies_materialised,
+        "arrivals_lost_to_preemption": stats.arrivals_lost_to_preemption,
+        "receiving_ips": sorted(stats.receiving_ips),
+        "source_ips": sorted(stats.source_ips),
+    }
+
+
+def _decode_stats(record: dict) -> CollectionStats:
+    return CollectionStats(
+        arrivals_routed=record["arrivals_routed"],
+        sessions_captured=record["sessions_captured"],
+        tenancies_materialised=record["tenancies_materialised"],
+        arrivals_lost_to_preemption=record["arrivals_lost_to_preemption"],
+        receiving_ips=set(record["receiving_ips"]),
+        source_ips=set(record["source_ips"]),
+    )
+
+
+def _write_jsonl(path: Path, records) -> int:
+    count = 0
+    with gzip.open(path, "wt", encoding="ascii", compresslevel=1) as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def _read_jsonl(path: Path):
+    with gzip.open(path, "rt", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+# -- the cache itself -------------------------------------------------------
+
+
+@dataclass
+class CachedStudy:
+    """One cache entry, loaded (arrivals stay on disk until asked for)."""
+
+    path: Path
+    meta: dict
+    store: SessionStore
+    alerts: List[Alert]
+    collection_stats: CollectionStats
+    ground_truth: Dict[int, Optional[str]]
+
+    def load_arrivals(self) -> List[ScanArrival]:
+        """The cached arrival stream (lazy: rarely needed downstream)."""
+        return [
+            _decode_arrival(record)
+            for record in _read_jsonl(self.path / "arrivals.jsonl.gz")
+        ]
+
+
+class StudyCache:
+    """Content-addressed store for study intermediates."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, config) -> str:
+        return study_key(config)
+
+    def entry_path(self, config) -> Path:
+        return self.root / "study" / self.key(config)
+
+    def has(self, config) -> bool:
+        return (self.entry_path(config) / "meta.json").exists()
+
+    def load(self, config) -> Optional[CachedStudy]:
+        """The cached entry for a config, or None (missing or unreadable
+        entries both count as misses; unreadable ones are evicted)."""
+        path = self.entry_path(config)
+        if not (path / "meta.json").exists():
+            self.misses += 1
+            return None
+        try:
+            meta = json.loads((path / "meta.json").read_text(encoding="utf-8"))
+            store = SessionStore()
+            store.extend(
+                decode_session(record)
+                for record in _read_jsonl(path / "store.jsonl.gz")
+            )
+            alerts = [
+                _decode_alert(record)
+                for record in _read_jsonl(path / "alerts.jsonl.gz")
+            ]
+            with gzip.open(
+                path / "collection.json.gz", "rt", encoding="ascii"
+            ) as handle:
+                collection = json.load(handle)
+            stats = _decode_stats(collection["stats"])
+            ground_truth = {
+                int(session_id): truth
+                for session_id, truth in collection["ground_truth"].items()
+            }
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        self.hits += 1
+        return CachedStudy(
+            path=path,
+            meta=meta,
+            store=store,
+            alerts=alerts,
+            collection_stats=stats,
+            ground_truth=ground_truth,
+        )
+
+    def save(
+        self,
+        config,
+        *,
+        arrivals: List[ScanArrival],
+        store: SessionStore,
+        alerts: List[Alert],
+        collection_stats: CollectionStats,
+        ground_truth: Dict[int, Optional[str]],
+    ) -> Path:
+        """Persist one study's intermediates; returns the entry path."""
+        path = self.entry_path(config)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir(parents=True)
+        try:
+            arrival_count = _write_jsonl(
+                tmp / "arrivals.jsonl.gz",
+                (_encode_arrival(arrival) for arrival in arrivals),
+            )
+            session_count = _write_jsonl(
+                tmp / "store.jsonl.gz",
+                (encode_session(session) for session in store),
+            )
+            alert_count = _write_jsonl(
+                tmp / "alerts.jsonl.gz",
+                (_encode_alert(alert) for alert in alerts),
+            )
+            with gzip.open(
+                tmp / "collection.json.gz", "wt", encoding="ascii",
+                compresslevel=1,
+            ) as handle:
+                json.dump(
+                    {
+                        "stats": _encode_stats(collection_stats),
+                        "ground_truth": {
+                            str(session_id): truth
+                            for session_id, truth in ground_truth.items()
+                        },
+                    },
+                    handle,
+                )
+            meta = {
+                "schema": CACHE_SCHEMA,
+                "key": path.name,
+                "code": code_fingerprint(),
+                "config": {
+                    name: str(value)
+                    for name, value in semantic_config(config).items()
+                },
+                "arrivals": arrival_count,
+                "sessions": session_count,
+                "alerts": alert_count,
+            }
+            # meta.json written last: its presence marks the entry complete.
+            (tmp / "meta.json").write_text(
+                json.dumps(meta, indent=2) + "\n", encoding="utf-8"
+            )
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                # A concurrent writer finished first; its entry is equivalent.
+                shutil.rmtree(tmp, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return path
+
+    def evict(self, config) -> bool:
+        """Drop one entry; returns whether it existed."""
+        path = self.entry_path(config)
+        existed = path.exists()
+        shutil.rmtree(path, ignore_errors=True)
+        return existed
+
+    def clear(self) -> int:
+        """Drop every study entry; returns how many were removed."""
+        study_root = self.root / "study"
+        if not study_root.exists():
+            return 0
+        entries = [p for p in study_root.iterdir() if p.is_dir()]
+        for entry in entries:
+            shutil.rmtree(entry, ignore_errors=True)
+        return len(entries)

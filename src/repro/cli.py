@@ -26,22 +26,65 @@ from repro.experiments.registry import list_experiments, run_experiment
 from repro.util.tables import render_table
 
 
+def _positive_int(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if count < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return count
+
+
 def _add_study_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--scale", type=float, default=0.05,
-        help="traffic volume scale (1.0 = the paper's full ~117k events)",
+        "--scale", type=float, default=None,
+        help="traffic volume scale (1.0 = the paper's full ~117k events; "
+             "default 0.05, or the preset's scale with --preset)",
     )
     parser.add_argument("--seed", type=int, default=20230321)
+    parser.add_argument(
+        "--preset", choices=sorted(StudyConfig.PRESETS), default=None,
+        help="named study configuration (quick / standard / full)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for traffic generation and the NIDS scan "
+             "(1 = serial; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse study intermediates from the on-disk cache "
+             "(default on; see --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="study cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
 
 def _study(args: argparse.Namespace) -> StudyResult:
-    return run_study(
-        StudyConfig(
-            seed=args.seed,
-            volume_scale=args.scale,
-            background_nvd_count=5000,
+    import dataclasses
+
+    if args.preset is not None:
+        config = StudyConfig.preset(
+            args.preset, seed=args.seed, workers=args.workers
         )
-    )
+        if args.scale is not None:
+            config = dataclasses.replace(config, volume_scale=args.scale)
+    else:
+        config = StudyConfig(
+            seed=args.seed,
+            volume_scale=args.scale if args.scale is not None else 0.05,
+            background_nvd_count=5000,
+            workers=args.workers,
+        )
+    cache = None
+    if args.cache:
+        from repro.cache import StudyCache
+
+        cache = StudyCache(root=args.cache_dir)
+    return run_study(config, cache=cache)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -50,6 +93,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.reporting.tables import render_skill_table
 
     result = _study(args)
+    if result.from_cache:
+        print("(traffic, capture, and scan served from the study cache)\n")
     reports = compute_skill(result.timelines.values())
     print(render_skill_table(reports, title="Table 4 (measured)"))
     print(f"\nmean skill: {mean_skill(reports):.2f}")

@@ -22,7 +22,9 @@ from repro.net.session import TcpSession
 _TIME_FORMAT = "%Y-%m-%dT%H:%M:%S.%f"
 
 
-def _encode(session: TcpSession) -> dict:
+def encode_session(session: TcpSession) -> dict:
+    """JSON-serialisable record for one session (inverse of
+    :func:`decode_session`); shared by the store and the study cache."""
     return {
         "id": session.session_id,
         "start": session.start.strftime(_TIME_FORMAT),
@@ -36,7 +38,8 @@ def _encode(session: TcpSession) -> dict:
     }
 
 
-def _decode(record: dict) -> TcpSession:
+def decode_session(record: dict) -> TcpSession:
+    """Rebuild a session from :func:`encode_session` output."""
     return TcpSession(
         session_id=record["id"],
         start=datetime.strptime(record["start"], _TIME_FORMAT),
@@ -109,7 +112,7 @@ class SessionStore:
         path = Path(path)
         with path.open("w", encoding="ascii") as handle:
             for session in self._sessions:
-                handle.write(json.dumps(_encode(session)) + "\n")
+                handle.write(json.dumps(encode_session(session)) + "\n")
         return len(self._sessions)
 
     @classmethod
@@ -120,5 +123,5 @@ class SessionStore:
             for line in handle:
                 line = line.strip()
                 if line:
-                    store.append(_decode(json.loads(line)))
+                    store.append(decode_session(json.loads(line)))
         return store

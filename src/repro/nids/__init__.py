@@ -26,7 +26,8 @@ from repro.nids.rule import (
 from repro.nids.parser import RuleParseError, parse_rule, parse_rules
 from repro.nids.matcher import match_rule
 from repro.nids.ruleset import Alert, Ruleset
-from repro.nids.engine import DetectionEngine
+from repro.nids.engine import DetectionEngine, DetectionStats
+from repro.nids.parallel import parallel_scan
 from repro.nids.automaton import AhoCorasick
 from repro.nids.live import LiveDetectionEngine, compare_live_vs_wayback
 from repro.nids.lint import LintFinding, lint_rule, lint_rules
@@ -44,6 +45,8 @@ __all__ = [
     "Alert",
     "Ruleset",
     "DetectionEngine",
+    "DetectionStats",
+    "parallel_scan",
     "AhoCorasick",
     "LiveDetectionEngine",
     "compare_live_vs_wayback",

@@ -37,6 +37,7 @@ class SessionBuffers:
         self._http: Optional[HttpRequest] = None
         self._http_parsed = False
         self._cache: Dict[HttpBuffer, Optional[bytes]] = {}
+        self._lower: Dict[HttpBuffer, bytes] = {}
 
     @property
     def http(self) -> Optional[HttpRequest]:
@@ -70,6 +71,23 @@ class SessionBuffers:
         self._cache[buffer] = value
         return value
 
+    def lowered(self, buffer: HttpBuffer) -> Optional[bytes]:
+        """Lowercased buffer bytes, computed at most once per session.
+
+        Every ``nocase`` option of every candidate rule needs the lowered
+        haystack; on archives with hundreds of candidate rules per session,
+        re-lowering the payload per option dominated the match loop.
+        """
+        cached = self._lower.get(buffer)
+        if cached is not None:
+            return cached
+        value = self.get(buffer)
+        if value is None:
+            return None
+        lowered = value.lower()
+        self._lower[buffer] = lowered
+        return lowered
+
 
 @lru_cache(maxsize=4096)
 def _compiled(pattern: str, flags: int) -> "re.Pattern[bytes]":
@@ -77,16 +95,21 @@ def _compiled(pattern: str, flags: int) -> "re.Pattern[bytes]":
 
 
 def _find_content(
-    haystack: bytes, option: ContentMatch, anchor: int
+    haystack: bytes,
+    option: ContentMatch,
+    anchor: int,
+    haystack_lower: Optional[bytes] = None,
 ) -> Optional[int]:
     """Return the end offset of the match, or None.
 
     ``anchor`` is the end of the previous match in this buffer (0 at start);
     relative modifiers offset from it, absolute ones from the buffer start.
+    ``haystack_lower`` is an optional pre-lowered haystack for ``nocase``
+    options (see :meth:`SessionBuffers.lowered`).
     """
     needle = option.pattern
     if option.nocase:
-        haystack = haystack.lower()
+        haystack = haystack_lower if haystack_lower is not None else haystack.lower()
         needle = needle.lower()
 
     if option.is_relative:
@@ -166,7 +189,12 @@ def match_rule(
                 continue
             return False
         if isinstance(option, ContentMatch):
-            end = _find_content(haystack, option, anchors.get(option.buffer, 0))
+            end = _find_content(
+                haystack,
+                option,
+                anchors.get(option.buffer, 0),
+                buffers.lowered(option.buffer) if option.nocase else None,
+            )
             if option.negated:
                 if end is not None:
                     return False

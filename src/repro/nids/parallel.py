@@ -1,0 +1,180 @@
+"""Multiprocess post-facto scanning.
+
+The study's NIDS pass is embarrassingly parallel: each stored session is
+matched against the ruleset independently, and the per-session results are
+merged back in session order.  This module partitions a session archive into
+contiguous chunks, evaluates them in a :class:`ProcessPoolExecutor`, and
+concatenates the per-chunk alert lists — so the merged output is *identical*
+(same alerts, same order, same fields) to a serial scan of the same stream.
+
+Transfer costs, not match work, dominate a naive pool scan, so two
+optimisations keep the parallel path worthwhile:
+
+* on platforms with ``fork`` (Linux), the ruleset is compiled and the
+  session list pinned in the parent *before* the pool starts; workers
+  inherit both via copy-on-write and receive only ``(start, stop)`` index
+  pairs — no session ever crosses a pipe.  Elsewhere (``spawn``), the
+  ruleset ships once per worker via the pool initializer (compiled there,
+  never per chunk) and chunks ship as session lists;
+* alerts return as plain tuples, which pickle several times faster than
+  dataclass instances, and are rebuilt in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.session import TcpSession
+from repro.nids.ruleset import Alert, Ruleset
+
+#: Chunks handed to the pool per worker: >1 so a slow chunk (one dense with
+#: candidate-heavy payloads) does not leave the other workers idle at the
+#: end of the scan.
+CHUNKS_PER_WORKER = 4
+
+_worker_ruleset: Optional[Ruleset] = None
+#: (ruleset, sessions) pinned for fork-inherited workers.
+_fork_state: Optional[Tuple[Ruleset, List[TcpSession]]] = None
+
+AlertTuple = tuple
+
+
+def _encode_alerts(alerts: List[Alert]) -> List[AlertTuple]:
+    return [
+        (
+            alert.session_id,
+            alert.timestamp,
+            alert.sid,
+            alert.cve_id,
+            alert.rule_published,
+            alert.dst_ip,
+            alert.dst_port,
+            alert.src_ip,
+        )
+        for alert in alerts
+    ]
+
+
+def _decode_alerts(rows: List[AlertTuple]) -> List[Alert]:
+    return [
+        Alert(
+            session_id=row[0],
+            timestamp=row[1],
+            sid=row[2],
+            cve_id=row[3],
+            rule_published=row[4],
+            dst_ip=row[5],
+            dst_port=row[6],
+            src_ip=row[7],
+        )
+        for row in rows
+    ]
+
+
+def _scan_with(
+    ruleset: Ruleset, sessions: Iterable[TcpSession]
+) -> List[Alert]:
+    alerts: List[Alert] = []
+    for session in sessions:
+        alert = ruleset.match_session(session)
+        if alert is not None:
+            alerts.append(alert)
+    return alerts
+
+
+def _init_worker(ruleset_blob: bytes) -> None:
+    """Spawn-path pool initializer: install this worker's compiled ruleset."""
+    global _worker_ruleset
+    ruleset = pickle.loads(ruleset_blob)
+    ruleset._ensure_compiled()
+    _worker_ruleset = ruleset
+
+
+def _scan_chunk(sessions: Sequence[TcpSession]) -> Tuple[List[AlertTuple], int]:
+    """Spawn path: scan one shipped chunk with the worker-local ruleset."""
+    if _worker_ruleset is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker ruleset not initialised")
+    return _encode_alerts(_scan_with(_worker_ruleset, sessions)), len(sessions)
+
+
+def _scan_range(bounds: Tuple[int, int]) -> Tuple[List[AlertTuple], int]:
+    """Fork path: scan a slice of the inherited session list."""
+    if _fork_state is None:  # pragma: no cover - set before the pool forks
+        raise RuntimeError("fork state not pinned")
+    ruleset, sessions = _fork_state
+    start, stop = bounds
+    return (
+        _encode_alerts(_scan_with(ruleset, sessions[start:stop])),
+        stop - start,
+    )
+
+
+def chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` slices covering ``range(total)``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def parallel_scan(
+    ruleset: Ruleset,
+    sessions: Iterable[TcpSession],
+    *,
+    workers: int,
+    chunk_size: Optional[int] = None,
+) -> Tuple[List[Alert], int]:
+    """Scan sessions across ``workers`` processes.
+
+    Returns ``(alerts, sessions_scanned)`` with alerts in session order —
+    identical to what a serial :meth:`Ruleset.match_session` sweep over the
+    same stream retains.  Falls back to an in-process scan when the stream
+    is too small to be worth a pool.
+    """
+    global _fork_state
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    items = list(sessions)
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(items) // (workers * CHUNKS_PER_WORKER)))
+    bounds = chunk_bounds(len(items), chunk_size)
+    if workers == 1 or len(bounds) <= 1:
+        ruleset._ensure_compiled()
+        return _scan_with(ruleset, items), len(items)
+
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    merged: List[Alert] = []
+    scanned = 0
+    if use_fork:
+        # Compile once in the parent; forked workers inherit the compiled
+        # ruleset and the session list copy-on-write, so tasks are just
+        # index pairs.
+        ruleset._ensure_compiled()
+        _fork_state = (ruleset, items)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(bounds)),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                for rows, count in pool.map(_scan_range, bounds):
+                    merged.extend(_decode_alerts(rows))
+                    scanned += count
+        finally:
+            _fork_state = None
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        blob = pickle.dumps(ruleset, protocol=pickle.HIGHEST_PROTOCOL)
+        chunks = [items[start:stop] for start, stop in bounds]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(blob,),
+        ) as pool:
+            for rows, count in pool.map(_scan_chunk, chunks):
+                merged.extend(_decode_alerts(rows))
+                scanned += count
+    return merged, scanned

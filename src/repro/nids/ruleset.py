@@ -53,6 +53,7 @@ class Ruleset:
 
     def __init__(self, *, port_insensitive: bool = True) -> None:
         self._rules: List[Tuple[Rule, datetime]] = []
+        self._sid_index: Dict[int, int] = {}
         self._port_insensitive = port_insensitive
         self._fast_patterns: List[Optional[bytes]] = []
         self._automaton: Optional[AhoCorasick] = None
@@ -69,10 +70,11 @@ class Ruleset:
 
     def add(self, rule: Rule, published: datetime) -> None:
         """Register a rule with its publication timestamp."""
-        if any(existing.sid == rule.sid for existing, _ in self._rules):
+        if rule.sid in self._sid_index:
             raise ValueError(f"duplicate sid {rule.sid}")
         if self._port_insensitive:
             rule = rule.port_insensitive()
+        self._sid_index[rule.sid] = len(self._rules)
         self._rules.append((rule, published))
         fast = rule.fast_pattern
         self._fast_patterns.append(fast.pattern.lower() if fast else None)
@@ -95,35 +97,37 @@ class Ruleset:
         (with ``published``) otherwise.  A stale revision (rev not higher
         than the installed one) is rejected.
         """
-        for index, (existing, original_published) in enumerate(self._rules):
-            if existing.sid != rule.sid:
-                continue
-            if rule.rev <= existing.rev:
-                raise ValueError(
-                    f"sid {rule.sid}: revision {rule.rev} is not newer "
-                    f"than installed rev {existing.rev}"
-                )
-            if self._port_insensitive:
-                rule = rule.port_insensitive()
-            self._rules[index] = (rule, original_published)
-            fast = rule.fast_pattern
-            self._fast_patterns[index] = fast.pattern.lower() if fast else None
-            self._compiled = False
-            return True
-        self.add(rule, published)
-        return False
+        index = self._sid_index.get(rule.sid)
+        if index is None:
+            self.add(rule, published)
+            return False
+        existing, original_published = self._rules[index]
+        if rule.rev <= existing.rev:
+            raise ValueError(
+                f"sid {rule.sid}: revision {rule.rev} is not newer "
+                f"than installed rev {existing.rev}"
+            )
+        if self._port_insensitive:
+            rule = rule.port_insensitive()
+        self._rules[index] = (rule, original_published)
+        fast = rule.fast_pattern
+        self._fast_patterns[index] = fast.pattern.lower() if fast else None
+        self._compiled = False
+        return True
 
     def published_at(self, sid: int) -> datetime:
-        for rule, published in self._rules:
-            if rule.sid == sid:
-                return published
-        raise KeyError(sid)
+        """Publication timestamp for a SID (O(1); called per alert)."""
+        try:
+            return self._rules[self._sid_index[sid]][1]
+        except KeyError:
+            raise KeyError(sid) from None
 
     def rule_for_sid(self, sid: int) -> Rule:
-        for rule, _ in self._rules:
-            if rule.sid == sid:
-                return rule
-        raise KeyError(sid)
+        """The installed rule for a SID (O(1); called per alert)."""
+        try:
+            return self._rules[self._sid_index[sid]][0]
+        except KeyError:
+            raise KeyError(sid) from None
 
     # -- prefilter ----------------------------------------------------------
 

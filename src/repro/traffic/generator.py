@@ -61,6 +61,12 @@ class TrafficConfig:
     volume, ~117k exploit events); first-attack times are never scaled.
     ``background_per_exploit`` sets how many background arrivals are
     generated per exploit arrival.
+
+    ``background_shards`` splits background radiation into that many
+    independently seeded RNG substreams.  The sampled stream depends on the
+    shard count (it is part of the configuration, like ``seed``) but never
+    on how many workers generate it; 1 (the default) preserves the
+    historical single-stream draw order.
     """
 
     seed: int = 20230321
@@ -69,6 +75,7 @@ class TrafficConfig:
     offport_fraction: float = 0.15
     exploit_source_count: int = 3600
     background_source_count: int = 50000
+    background_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.volume_scale <= 0:
@@ -77,6 +84,8 @@ class TrafficConfig:
             raise ValueError("offport_fraction must be in [0, 1]")
         if self.background_per_exploit < 0:
             raise ValueError("background_per_exploit must be >= 0")
+        if self.background_shards < 1:
+            raise ValueError("background_shards must be >= 1")
 
 
 class TrafficGenerator:
@@ -218,9 +227,34 @@ class TrafficGenerator:
         """Credential stuffing, Tomcat probing, and inert radiation.
 
         The first two deliberately trigger the overly-general
-        false-positive signatures; the radiation matches nothing.
+        false-positive signatures; the radiation matches nothing.  The
+        total volume is split across ``config.background_shards``
+        independently seeded substreams (shard 0 of 1 reproduces the
+        historical single-stream draws exactly).
         """
-        rng = derive_rng(self.config.seed, "background")
+        arrivals: List[ScanArrival] = []
+        for shard in range(self.config.background_shards):
+            arrivals.extend(self.background_shard_arrivals(shard, count))
+        return arrivals
+
+    def background_shard_arrivals(
+        self, shard: int, total: int
+    ) -> List[ScanArrival]:
+        """One background shard's arrivals.
+
+        ``total`` is the *whole* background volume; the shard generates its
+        ``total // shards`` (+1 for the remainder shards) slice from its own
+        RNG substream, so any worker may generate any shard and the merged
+        stream is always the same.
+        """
+        shards = self.config.background_shards
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
+        count = total // shards + (1 if shard < total % shards else 0)
+        if shards == 1:
+            rng = derive_rng(self.config.seed, "background")
+        else:
+            rng = derive_rng(self.config.seed, "background", shard)
         arrivals: List[ScanArrival] = []
         passwords = ["123456", "admin", "password", "root1234", "qwerty"]
         for when in background_times(window=self.window, rng=rng, count=count):
@@ -259,13 +293,119 @@ class TrafficGenerator:
 
     # -- full stream ---------------------------------------------------------
 
-    def generate(self) -> List[ScanArrival]:
-        """The complete arrival stream, time-sorted."""
-        arrivals: List[ScanArrival] = []
-        for seed_cve in SEED_CVES:
-            arrivals.extend(self.campaign_arrivals(seed_cve))
-        exploit_count = len(arrivals)
-        background_count = int(exploit_count * self.config.background_per_exploit)
-        arrivals.extend(self.background_arrivals(background_count))
+    def generate(self, *, workers: int = 1) -> List[ScanArrival]:
+        """The complete arrival stream, time-sorted.
+
+        ``workers > 1`` generates per-CVE campaigns and background shards in
+        that many worker processes.  Every shard draws from its own RNG
+        substream and shards are merged in a canonical order (campaigns in
+        seed-table order, then background shards) before the final stable
+        sort, so the stream is identical for any worker count.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == 1:
+            arrivals: List[ScanArrival] = []
+            for seed_cve in SEED_CVES:
+                arrivals.extend(self.campaign_arrivals(seed_cve))
+            exploit_count = len(arrivals)
+            background_count = int(
+                exploit_count * self.config.background_per_exploit
+            )
+            arrivals.extend(self.background_arrivals(background_count))
+        else:
+            arrivals = self._generate_sharded(workers)
         arrivals.sort(key=lambda arrival: arrival.timestamp)
         return arrivals
+
+    def _generate_sharded(self, workers: int) -> List[ScanArrival]:
+        """Fan shard tasks out to a process pool; merge in canonical order.
+
+        Background volume depends on the exploit total, so campaigns run as
+        a first wave and background shards as a second, reusing one pool
+        (each worker builds its scanner population once, in the
+        initializer).
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        campaign_tasks = [("campaign", seed_cve.cve_id) for seed_cve in SEED_CVES]
+        arrivals: List[ScanArrival] = []
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_traffic_worker,
+            initargs=(self.config, self.window),
+        ) as pool:
+            for rows in pool.map(_run_traffic_task, campaign_tasks):
+                arrivals.extend(_decode_arrivals(rows))
+            background_count = int(
+                len(arrivals) * self.config.background_per_exploit
+            )
+            background_tasks = [
+                ("background", shard, background_count)
+                for shard in range(self.config.background_shards)
+            ]
+            for rows in pool.map(_run_traffic_task, background_tasks):
+                arrivals.extend(_decode_arrivals(rows))
+        return arrivals
+
+
+# -- worker-process plumbing (module-level so tasks pickle) -----------------
+
+_worker_generator: Optional[TrafficGenerator] = None
+
+
+def _init_traffic_worker(config: TrafficConfig, window) -> None:
+    """Pool initializer: build this worker's generator (and its scanner
+    population) exactly once."""
+    global _worker_generator
+    _worker_generator = TrafficGenerator(config, window=window)
+
+
+def _encode_arrivals(arrivals: List[ScanArrival]) -> List[tuple]:
+    """Arrivals as plain tuples — they cross the process boundary several
+    times faster than dataclass instances."""
+    return [
+        (
+            arrival.timestamp,
+            arrival.src_ip,
+            arrival.src_port,
+            arrival.dst_port,
+            arrival.payload,
+            arrival.truth_cve,
+            arrival.variant_sid,
+        )
+        for arrival in arrivals
+    ]
+
+
+def _decode_arrivals(rows: List[tuple]) -> List[ScanArrival]:
+    return [
+        ScanArrival(
+            timestamp=row[0],
+            src_ip=row[1],
+            src_port=row[2],
+            dst_port=row[3],
+            payload=row[4],
+            truth_cve=row[5],
+            variant_sid=row[6],
+        )
+        for row in rows
+    ]
+
+
+def _run_traffic_task(task: tuple) -> List[tuple]:
+    """Generate one shard: a CVE campaign or a background slice."""
+    generator = _worker_generator
+    if generator is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("traffic worker not initialised")
+    kind = task[0]
+    if kind == "campaign":
+        cve_id = task[1]
+        seed_cve = next(s for s in SEED_CVES if s.cve_id == cve_id)
+        return _encode_arrivals(generator.campaign_arrivals(seed_cve))
+    if kind == "background":
+        _, shard, total = task
+        return _encode_arrivals(
+            generator.background_shard_arrivals(shard, total)
+        )
+    raise ValueError(f"unknown traffic task {task!r}")

@@ -7,6 +7,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point the study cache at a throwaway root for every CLI test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -62,6 +68,33 @@ class TestRunAndExperiment:
         assert "table4" in payload
         assert (out_dir / "fig11.txt").exists()
         assert (out_dir / "exposure_cdfs.csv").exists()
+
+    def test_run_second_invocation_hits_cache(self, capsys):
+        assert main(["run", "--scale", "0.01"]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "served from the study cache" in out
+        assert "Table 4 (measured)" in out
+
+    def test_run_no_cache_never_reads_or_writes(self, capsys, tmp_path):
+        cache_dir = tmp_path / "explicit-cache"
+        args = ["run", "--scale", "0.01", "--no-cache",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert not cache_dir.exists()
+        assert "served from the study cache" not in capsys.readouterr().out
+
+    def test_run_with_workers_matches_serial(self, capsys):
+        assert main(["run", "--scale", "0.01", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "--scale", "0.01", "--no-cache",
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_run_preset_quick(self, capsys):
+        assert main(["run", "--preset", "quick", "--scale", "0.01"]) == 0
+        assert "Table 4 (measured)" in capsys.readouterr().out
 
     def test_experiment_finding7(self, capsys):
         assert main(["experiment", "finding7", "--scale", "0.01"]) == 0
