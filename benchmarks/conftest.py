@@ -11,6 +11,11 @@ The run's heavy intermediates are served from the on-disk study cache
 bench sessions — and any other process studying the same configuration —
 skip generation, capture, and scanning entirely.  Set ``REPRO_BENCH_CACHE=0``
 to force a cold build, and ``REPRO_BENCH_WORKERS`` to parallelise one.
+
+Every cached session starts with a cache GC pass: orphaned staging dirs and
+torn entries are removed (so a crashed earlier bench can never wedge the
+key), and ``REPRO_BENCH_CACHE_MAX_BYTES`` optionally bounds the cache's
+total size, evicting oldest entries first.
 """
 
 from __future__ import annotations
@@ -27,6 +32,11 @@ from repro.experiments.registry import ExperimentResult, run_experiment
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+BENCH_CACHE_MAX_BYTES = (
+    int(os.environ["REPRO_BENCH_CACHE_MAX_BYTES"])
+    if os.environ.get("REPRO_BENCH_CACHE_MAX_BYTES")
+    else None
+)
 
 
 def bench_config() -> StudyConfig:
@@ -42,9 +52,22 @@ def bench_config() -> StudyConfig:
 @pytest.fixture(scope="session")
 def study_full() -> StudyResult:
     """The study run benchmarks analyse (cached across sessions)."""
-    return run_study(
-        bench_config(), cache=StudyCache() if BENCH_CACHE else None
-    )
+    cache = None
+    if BENCH_CACHE:
+        cache = StudyCache()
+        # Self-heal before studying: a bench killed mid-save must not leave
+        # staging debris or a torn entry wedging this configuration's key.
+        cache.gc(max_bytes=BENCH_CACHE_MAX_BYTES)
+    result = run_study(bench_config(), cache=cache)
+    if cache is not None:
+        telemetry = cache.telemetry
+        print(
+            f"\n[study cache] {'hit' if result.from_cache else 'miss'} "
+            f"(hits={telemetry.hits} misses={telemetry.misses} "
+            f"evictions={telemetry.evictions} "
+            f"integrity_failures={telemetry.integrity_failures})"
+        )
+    return result
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import timedelta
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cache import CacheTelemetry, StudyCache
 
 from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_datasets
 from repro.exploits.rulegen import build_study_ruleset
@@ -112,6 +115,10 @@ class StudyResult:
     #: Whether the heavy stages (generation, capture, scan) were served
     #: from the on-disk study cache instead of recomputed.
     from_cache: bool = False
+    #: Counters from the cache instance that served (or stored) this run —
+    #: hits, misses, evictions, integrity failures, bytes moved.  None when
+    #: the run was uncached.
+    cache_telemetry: Optional["CacheTelemetry"] = None
 
     @property
     def kept_cves(self) -> List[str]:
@@ -234,4 +241,7 @@ def run_study(
         collection_stats=collection_stats,
         ground_truth=ground_truth,
         from_cache=from_cache,
+        cache_telemetry=(
+            study_cache.telemetry if study_cache is not None else None
+        ),
     )

@@ -3,13 +3,23 @@
 The paper's measurement is one expensive pass (two years of traffic scanned
 post-facto) feeding many cheap analyses; this package makes the expensive
 pass run once per configuration *per machine* instead of once per process.
-See :mod:`repro.cache.study` for keying and invalidation rules.
+
+Layering:
+
+* :mod:`repro.cache.study` — the cache itself: keying, the atomic
+  publish protocol, verified loads, telemetry;
+* :mod:`repro.cache.integrity` — per-file checksums and entry verification;
+* :mod:`repro.cache.gc` — staging-dir cleanup and age/size-bounded eviction;
+* :mod:`repro.cache.fingerprint` — code fingerprinting for invalidation.
 """
 
-from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint
+from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint, digest_file
+from repro.cache.gc import GcReport, collect_garbage
+from repro.cache.integrity import EntryReport, is_complete_entry, verify_entry
 from repro.cache.study import (
     CACHE_SCHEMA,
     CachedStudy,
+    CacheTelemetry,
     StudyCache,
     default_cache_root,
     semantic_config,
@@ -19,10 +29,17 @@ from repro.cache.study import (
 __all__ = [
     "CACHE_SCHEMA",
     "CachedStudy",
+    "CacheTelemetry",
+    "EntryReport",
+    "GcReport",
     "STAGE_MODULES",
     "StudyCache",
     "code_fingerprint",
+    "collect_garbage",
     "default_cache_root",
+    "digest_file",
+    "is_complete_entry",
     "semantic_config",
     "study_key",
+    "verify_entry",
 ]

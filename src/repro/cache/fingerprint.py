@@ -50,6 +50,20 @@ STAGE_MODULES: Tuple[str, ...] = (
 )
 
 
+def digest_file(path, *, digest_size: int = 16) -> str:
+    """Streamed BLAKE2b digest of a file's bytes.
+
+    Shared by module fingerprinting and cache-entry checksums: both need a
+    stable content digest of on-disk bytes without holding the file in
+    memory.
+    """
+    hasher = hashlib.blake2b(digest_size=digest_size)
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(block)
+    return hasher.hexdigest()
+
+
 @lru_cache(maxsize=8)
 def _fingerprint(module_names: Tuple[str, ...]) -> str:
     hasher = hashlib.blake2b(digest_size=16)
@@ -59,7 +73,7 @@ def _fingerprint(module_names: Tuple[str, ...]) -> str:
         source = inspect.getsourcefile(module)
         hasher.update(name.encode("utf-8"))
         if source is not None:
-            hasher.update(Path(source).read_bytes())
+            hasher.update(digest_file(source).encode("ascii"))
     return hasher.hexdigest()
 
 

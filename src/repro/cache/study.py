@@ -15,13 +15,30 @@ Keying and invalidation:
   cannot change the result;
 * the key also folds in :func:`repro.cache.fingerprint.code_fingerprint`,
   a digest of the stage modules' source bytes, so editing pipeline code
-  invalidates every prior entry without version bookkeeping;
-* entries are written to a temp directory and renamed into place, so a
-  crashed writer never leaves a readable-but-corrupt entry, and concurrent
-  writers race benignly (first one wins).
+  invalidates every prior entry without version bookkeeping.
+
+Durability (the publish/verify/GC protocol):
+
+* entries are staged in a ``<key>.tmp<pid>`` sibling directory and
+  published with one atomic ``os.replace``; ``meta.json`` is written last
+  inside the staging dir, so a published entry is complete by construction;
+* ``meta.json`` records a per-file BLAKE2b checksum, byte size, and record
+  count; :meth:`StudyCache.load` verifies them and evicts on any mismatch;
+* when the publishing rename fails because a directory already occupies the
+  slot, the occupant is verified: a *complete* entry means a concurrent
+  writer won an equivalent race (benign — the staging dir is dropped), while
+  a *torn* one (crash debris, partial eviction, hand-deleted ``meta.json``)
+  is evicted and the rename retried, bounded times — a torn entry can never
+  permanently block its key;
+* :meth:`StudyCache.gc` removes orphaned staging dirs and torn entries and
+  applies optional age/size bounds (see :mod:`repro.cache.gc`);
+* every hit, miss, eviction, verification failure, publish conflict, and
+  byte moved is counted on :attr:`StudyCache.telemetry`.
 
 The default root is ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``
-or the ``root=`` argument; ``XDG_CACHE_HOME`` is honoured).
+or the ``root=`` argument; ``XDG_CACHE_HOME`` is honoured).  The ``repro
+cache`` CLI (``stats`` / ``verify`` / ``gc`` / ``clear``) operates on the
+same layout.
 """
 
 from __future__ import annotations
@@ -32,12 +49,21 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from datetime import datetime, timedelta
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.cache.fingerprint import code_fingerprint
+from repro.cache.gc import GcReport, STAGING_GRACE_SECONDS, collect_garbage
+from repro.cache.integrity import (
+    EntryReport,
+    build_manifest,
+    is_complete_entry,
+    read_meta,
+    verify_entry,
+)
 from repro.net.pcapstore import (
     SessionStore,
     _TIME_FORMAT,
@@ -49,8 +75,13 @@ from repro.telescope.collector import CollectionStats
 from repro.traffic.arrivals import ScanArrival
 
 #: Bump when the on-disk entry layout changes (not when pipeline code does —
-#: the code fingerprint covers that).
-CACHE_SCHEMA = 1
+#: the code fingerprint covers that).  2: per-file checksums and record
+#: counts in ``meta.json``.
+CACHE_SCHEMA = 2
+
+#: How many times :meth:`StudyCache.save` will evict a stale occupant and
+#: retry the publishing rename before giving the save up.
+PUBLISH_ATTEMPTS = 4
 
 #: Config fields that select *how* a study runs, not *what* it computes;
 #: they are excluded from the cache key so e.g. ``workers=1`` and
@@ -214,32 +245,84 @@ class CachedStudy:
         ]
 
 
+@dataclass
+class CacheTelemetry:
+    """Counters for one :class:`StudyCache` instance's lifetime.
+
+    ``publish_conflicts`` counts benign races (a complete concurrent entry
+    won); ``blocked_slot_evictions`` counts the bug class this subsystem
+    exists to prevent — a stale or torn directory squatting on a key and
+    evicted so the save could publish.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    evictions: int = 0
+    integrity_failures: int = 0
+    publish_conflicts: int = 0
+    blocked_slot_evictions: int = 0
+    publish_failures: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
 class StudyCache:
     """Content-addressed store for study intermediates."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_root()
-        self.hits = 0
-        self.misses = 0
+        self.telemetry = CacheTelemetry()
+
+    # Backwards-compatible aliases for the original counters.
+    @property
+    def hits(self) -> int:
+        return self.telemetry.hits
+
+    @property
+    def misses(self) -> int:
+        return self.telemetry.misses
+
+    @property
+    def study_root(self) -> Path:
+        return self.root / "study"
 
     def key(self, config) -> str:
         return study_key(config)
 
     def entry_path(self, config) -> Path:
-        return self.root / "study" / self.key(config)
+        return self.study_root / self.key(config)
 
     def has(self, config) -> bool:
         return (self.entry_path(config) / "meta.json").exists()
 
+    def _evict_dir(self, path: Path) -> None:
+        shutil.rmtree(path, ignore_errors=True)
+        self.telemetry.evictions += 1
+
     def load(self, config) -> Optional[CachedStudy]:
-        """The cached entry for a config, or None (missing or unreadable
-        entries both count as misses; unreadable ones are evicted)."""
+        """The cached entry for a config, or None.
+
+        Missing, torn, and checksum-failing entries all count as misses;
+        anything unusable occupying the slot is evicted so the recompute's
+        :meth:`save` can publish.
+        """
         path = self.entry_path(config)
-        if not (path / "meta.json").exists():
-            self.misses += 1
+        if not path.exists():
+            self.telemetry.misses += 1
             return None
+        report = verify_entry(path, deep=True, expect_schema=CACHE_SCHEMA)
+        if not report.ok:
+            # Torn or corrupt: evict rather than leave it blocking the key.
+            self.telemetry.integrity_failures += 1
+            self.telemetry.misses += 1
+            self._evict_dir(path)
+            return None
+        meta = report.meta
         try:
-            meta = json.loads((path / "meta.json").read_text(encoding="utf-8"))
             store = SessionStore()
             store.extend(
                 decode_session(record)
@@ -258,11 +341,19 @@ class StudyCache:
                 int(session_id): truth
                 for session_id, truth in collection["ground_truth"].items()
             }
+            records = meta.get("records", {})
+            if (
+                len(store) != records.get("sessions")
+                or len(alerts) != records.get("alerts")
+            ):
+                raise ValueError("record counts disagree with meta.json")
         except (OSError, ValueError, KeyError):
-            self.misses += 1
-            shutil.rmtree(path, ignore_errors=True)
+            self.telemetry.integrity_failures += 1
+            self.telemetry.misses += 1
+            self._evict_dir(path)
             return None
-        self.hits += 1
+        self.telemetry.hits += 1
+        self.telemetry.bytes_read += report.bytes
         return CachedStudy(
             path=path,
             meta=meta,
@@ -271,6 +362,31 @@ class StudyCache:
             collection_stats=stats,
             ground_truth=ground_truth,
         )
+
+    def _publish(self, staging: Path, path: Path) -> bool:
+        """Atomically move a staged entry into place; True if we published.
+
+        A failed rename means *something* occupies the slot.  A complete
+        entry there is a concurrent writer's equivalent result — benign
+        loss, drop the staging dir.  Anything else (torn directory, debris)
+        is evicted and the rename retried, at most :data:`PUBLISH_ATTEMPTS`
+        times, so stale state can never permanently block the key.
+        """
+        for _ in range(PUBLISH_ATTEMPTS):
+            try:
+                os.replace(staging, path)
+                return True
+            except OSError:
+                if is_complete_entry(path, expect_schema=CACHE_SCHEMA):
+                    self.telemetry.publish_conflicts += 1
+                    shutil.rmtree(staging, ignore_errors=True)
+                    return False
+                self.telemetry.blocked_slot_evictions += 1
+                self._evict_dir(path)
+        # Pathological contention: give the save up rather than spin.
+        self.telemetry.publish_failures += 1
+        shutil.rmtree(staging, ignore_errors=True)
+        return False
 
     def save(
         self,
@@ -282,26 +398,32 @@ class StudyCache:
         collection_stats: CollectionStats,
         ground_truth: Dict[int, Optional[str]],
     ) -> Path:
-        """Persist one study's intermediates; returns the entry path."""
+        """Persist one study's intermediates; returns the entry path.
+
+        Best-effort by design: after the publish protocol exhausts its
+        retries (possible only under pathological contention) the save is
+        dropped and counted in ``telemetry.publish_failures`` — a cache
+        save must never fail an otherwise-successful study run.
+        """
         path = self.entry_path(config)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        shutil.rmtree(tmp, ignore_errors=True)
-        tmp.mkdir(parents=True)
+        staging = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        shutil.rmtree(staging, ignore_errors=True)
+        staging.mkdir(parents=True)
         try:
             arrival_count = _write_jsonl(
-                tmp / "arrivals.jsonl.gz",
+                staging / "arrivals.jsonl.gz",
                 (_encode_arrival(arrival) for arrival in arrivals),
             )
             session_count = _write_jsonl(
-                tmp / "store.jsonl.gz",
+                staging / "store.jsonl.gz",
                 (encode_session(session) for session in store),
             )
             alert_count = _write_jsonl(
-                tmp / "alerts.jsonl.gz",
+                staging / "alerts.jsonl.gz",
                 (_encode_alert(alert) for alert in alerts),
             )
             with gzip.open(
-                tmp / "collection.json.gz", "wt", encoding="ascii",
+                staging / "collection.json.gz", "wt", encoding="ascii",
                 compresslevel=1,
             ) as handle:
                 json.dump(
@@ -314,45 +436,125 @@ class StudyCache:
                     },
                     handle,
                 )
+            manifest = build_manifest(staging)
             meta = {
                 "schema": CACHE_SCHEMA,
                 "key": path.name,
                 "code": code_fingerprint(),
+                "created": time.time(),
                 "config": {
                     name: str(value)
                     for name, value in semantic_config(config).items()
                 },
-                "arrivals": arrival_count,
-                "sessions": session_count,
-                "alerts": alert_count,
+                "records": {
+                    "arrivals": arrival_count,
+                    "sessions": session_count,
+                    "alerts": alert_count,
+                },
+                "files": manifest,
             }
             # meta.json written last: its presence marks the entry complete.
-            (tmp / "meta.json").write_text(
+            (staging / "meta.json").write_text(
                 json.dumps(meta, indent=2) + "\n", encoding="utf-8"
             )
-            try:
-                os.replace(tmp, path)
-            except OSError:
-                # A concurrent writer finished first; its entry is equivalent.
-                shutil.rmtree(tmp, ignore_errors=True)
+            if self._publish(staging, path):
+                self.telemetry.bytes_written += sum(
+                    int(entry["bytes"]) for entry in manifest.values()
+                )
         except BaseException:
-            shutil.rmtree(tmp, ignore_errors=True)
+            shutil.rmtree(staging, ignore_errors=True)
             raise
+        self.telemetry.saves += 1
         return path
+
+    # -- lifecycle / inspection --------------------------------------------
+
+    def entries(self) -> List[Path]:
+        """Entry directories (published or torn; staging dirs excluded)."""
+        if not self.study_root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.study_root.iterdir()
+            if path.is_dir() and ".tmp" not in path.name
+        )
+
+    def staging_dirs(self) -> List[Path]:
+        """Leftover ``<key>.tmp<pid>`` staging directories."""
+        if not self.study_root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.study_root.iterdir()
+            if path.is_dir() and ".tmp" in path.name
+        )
+
+    def verify(self, *, deep: bool = True) -> List[EntryReport]:
+        """Verify every entry against its manifest (no eviction)."""
+        return [
+            verify_entry(path, deep=deep, expect_schema=CACHE_SCHEMA)
+            for path in self.entries()
+        ]
+
+    def gc(
+        self,
+        *,
+        max_age: Optional[timedelta] = None,
+        max_bytes: Optional[int] = None,
+        staging_grace: float = STAGING_GRACE_SECONDS,
+    ) -> GcReport:
+        """Collect garbage (see :func:`repro.cache.gc.collect_garbage`)."""
+        report = collect_garbage(
+            self.study_root,
+            max_age=max_age,
+            max_bytes=max_bytes,
+            staging_grace=staging_grace,
+        )
+        self.telemetry.evictions += report.entries_removed
+        return report
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the on-disk population plus this instance's counters."""
+        entries = []
+        total_bytes = 0
+        for path in self.entries():
+            meta = read_meta(path)
+            report = verify_entry(path, deep=False, expect_schema=CACHE_SCHEMA)
+            total_bytes += report.bytes
+            entries.append(
+                {
+                    "key": path.name,
+                    "complete": report.ok,
+                    "bytes": report.bytes,
+                    "created": (meta or {}).get("created"),
+                    "records": (meta or {}).get("records", {}),
+                    "config": (meta or {}).get("config", {}),
+                }
+            )
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "entry_count": len(entries),
+            "staging_count": len(self.staging_dirs()),
+            "total_bytes": total_bytes,
+            "telemetry": self.telemetry.as_dict(),
+        }
 
     def evict(self, config) -> bool:
         """Drop one entry; returns whether it existed."""
         path = self.entry_path(config)
         existed = path.exists()
-        shutil.rmtree(path, ignore_errors=True)
+        if existed:
+            self._evict_dir(path)
         return existed
 
     def clear(self) -> int:
-        """Drop every study entry; returns how many were removed."""
-        study_root = self.root / "study"
-        if not study_root.exists():
+        """Drop every study entry (staging dirs included); returns how many
+        were removed."""
+        if not self.study_root.exists():
             return 0
-        entries = [p for p in study_root.iterdir() if p.is_dir()]
+        entries = [p for p in self.study_root.iterdir() if p.is_dir()]
         for entry in entries:
             shutil.rmtree(entry, ignore_errors=True)
+        self.telemetry.evictions += len(entries)
         return len(entries)

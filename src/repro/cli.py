@@ -10,6 +10,7 @@ Subcommands::
     repro rules       dump the generated Snort ruleset text
     repro seeds       print the encoded Appendix E seed table
     repro baselines   paper baselines vs exactly computed Markov baselines
+    repro cache       study-cache maintenance (stats / verify / gc / clear)
 
 Every subcommand is deterministic for a given ``--seed``.
 """
@@ -17,6 +18,7 @@ Every subcommand is deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -253,6 +255,160 @@ def _cmd_baselines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cache(args: argparse.Namespace):
+    from repro.cache import StudyCache
+
+    return StudyCache(root=args.cache_dir)
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    snapshot = cache.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"cache root: {snapshot['root']}")
+    print(f"entries: {snapshot['entry_count']} "
+          f"({_format_bytes(snapshot['total_bytes'])}); "
+          f"staging dirs: {snapshot['staging_count']}")
+    if snapshot["entries"]:
+        rows = []
+        for entry in snapshot["entries"]:
+            records = entry["records"]
+            rows.append([
+                entry["key"][:16],
+                "yes" if entry["complete"] else "TORN",
+                records.get("sessions", "-"),
+                records.get("alerts", "-"),
+                _format_bytes(entry["bytes"]),
+                entry["config"].get("volume_scale", "-"),
+                entry["config"].get("seed", "-"),
+            ])
+        print()
+        print(render_table(
+            ["key", "complete", "sessions", "alerts", "size",
+             "scale", "seed"],
+            rows,
+        ))
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    reports = cache.verify(deep=not args.shallow)
+    bad = [report for report in reports if not report.ok]
+    for report in reports:
+        print(report.summary)
+    if bad and args.evict:
+        import shutil
+
+        for report in bad:
+            shutil.rmtree(report.path, ignore_errors=True)
+        print(f"\nevicted {len(bad)} failing entr"
+              f"{'y' if len(bad) == 1 else 'ies'}")
+        return 0
+    print(f"\n{len(reports) - len(bad)} ok, {len(bad)} failing "
+          f"of {len(reports)} entr{'y' if len(reports) == 1 else 'ies'}")
+    return 1 if bad else 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from datetime import timedelta
+
+    cache = _open_cache(args)
+    report = cache.gc(
+        max_age=(
+            timedelta(days=args.max_age_days)
+            if args.max_age_days is not None else None
+        ),
+        max_bytes=args.max_bytes,
+    )
+    print(f"staging dirs removed: {report.staging_removed}")
+    print(f"torn entries removed: {report.torn_removed}")
+    print(f"expired entries removed: {report.expired_removed}")
+    print(f"size-bound evictions: {report.size_evicted}")
+    print(f"freed: {_format_bytes(report.bytes_freed)}; kept: "
+          f"{report.entries_kept} entr"
+          f"{'y' if report.entries_kept == 1 else 'ies'} "
+          f"({_format_bytes(report.bytes_kept)})")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.root}")
+    return 0
+
+
+def _add_cache_commands(subparsers) -> None:
+    cache_parser = subparsers.add_parser(
+        "cache", help="study-cache maintenance"
+    )
+    cache_subparsers = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+
+    def _common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+
+    stats_parser = cache_subparsers.add_parser(
+        "stats", help="entry population, sizes, and telemetry"
+    )
+    _common(stats_parser)
+    stats_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    stats_parser.set_defaults(func=_cmd_cache_stats)
+
+    verify_parser = cache_subparsers.add_parser(
+        "verify", help="check every entry against its checksum manifest"
+    )
+    _common(verify_parser)
+    verify_parser.add_argument(
+        "--shallow", action="store_true",
+        help="skip digest recomputation (existence and sizes only)",
+    )
+    verify_parser.add_argument(
+        "--evict", action="store_true",
+        help="remove entries that fail verification",
+    )
+    verify_parser.set_defaults(func=_cmd_cache_verify)
+
+    gc_parser = cache_subparsers.add_parser(
+        "gc", help="remove orphaned staging dirs, torn and bounded-out entries"
+    )
+    _common(gc_parser)
+    gc_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="evict entries older than DAYS",
+    )
+    gc_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict oldest entries until the cache fits in N bytes",
+    )
+    gc_parser.set_defaults(func=_cmd_cache_gc)
+
+    clear_parser = cache_subparsers.add_parser(
+        "clear", help="drop every entry"
+    )
+    _common(clear_parser)
+    clear_parser.set_defaults(func=_cmd_cache_clear)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -304,6 +460,8 @@ def build_parser() -> argparse.ArgumentParser:
         "baselines", help="paper vs computed luck baselines"
     )
     baselines_parser.set_defaults(func=_cmd_baselines)
+
+    _add_cache_commands(subparsers)
 
     return parser
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -36,8 +37,13 @@ from repro.nids.ruleset import Alert, Ruleset
 CHUNKS_PER_WORKER = 4
 
 _worker_ruleset: Optional[Ruleset] = None
-#: (ruleset, sessions) pinned for fork-inherited workers.
+#: (ruleset, sessions) pinned for fork-inherited workers.  Module-global by
+#: necessity — forked children read it from their memory snapshot — so
+#: :data:`_fork_lock` serialises the pin → fork → scan → unpin section:
+#: without it, two ``DetectionEngine.scan`` calls overlapping from threads
+#: could fork workers that see the *other* scan's session list.
 _fork_state: Optional[Tuple[Ruleset, List[TcpSession]]] = None
+_fork_lock = threading.Lock()
 
 AlertTuple = tuple
 
@@ -153,19 +159,21 @@ def parallel_scan(
     if use_fork:
         # Compile once in the parent; forked workers inherit the compiled
         # ruleset and the session list copy-on-write, so tasks are just
-        # index pairs.
+        # index pairs.  The lock keeps a concurrent scan from repinning
+        # _fork_state while this pool's workers are being forked.
         ruleset._ensure_compiled()
-        _fork_state = (ruleset, items)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(bounds)),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                for rows, count in pool.map(_scan_range, bounds):
-                    merged.extend(_decode_alerts(rows))
-                    scanned += count
-        finally:
-            _fork_state = None
+        with _fork_lock:
+            _fork_state = (ruleset, items)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(bounds)),
+                    mp_context=multiprocessing.get_context("fork"),
+                ) as pool:
+                    for rows, count in pool.map(_scan_range, bounds):
+                        merged.extend(_decode_alerts(rows))
+                        scanned += count
+            finally:
+                _fork_state = None
     else:  # pragma: no cover - exercised only on spawn-only platforms
         blob = pickle.dumps(ruleset, protocol=pickle.HIGHEST_PROTOCOL)
         chunks = [items[start:stop] for start, stop in bounds]

@@ -44,6 +44,8 @@ class Ecdf:
         """Smallest sample value x with P(X <= x) >= p."""
         if not 0.0 < p <= 1.0:
             raise ValueError(f"quantile level out of range: {p}")
+        if self.n == 0:
+            raise ValueError("ECDF over empty sample")
         index = int(np.ceil(p * self.n)) - 1
         return float(self.xs[max(index, 0)])
 

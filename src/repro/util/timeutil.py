@@ -60,15 +60,27 @@ def parse_offset(text: str) -> Duration:
 def format_offset(delta: Duration) -> str:
     """Format a timedelta in the paper's ``"90d 12h"`` notation.
 
+    A nonzero minute component is emitted as a trailing ``Nm`` (the paper
+    only prints whole hours, but dropping minutes silently would break the
+    parse → format → parse round trip).
+
     >>> format_offset(timedelta(days=90, hours=12))
     '90d 12h'
     >>> format_offset(timedelta(hours=-7))
     '-0d 7h'
+    >>> format_offset(timedelta(minutes=30))
+    '0d 0h 30m'
+    >>> parse_offset(format_offset(parse_offset("0d 0h 30m")))
+    datetime.timedelta(seconds=1800)
     """
     sign = "-" if delta < timedelta(0) else ""
     magnitude = abs(delta)
-    total_hours = int(magnitude.total_seconds() // 3600)
-    return f"{sign}{total_hours // 24}d {total_hours % 24}h"
+    total_minutes = int(magnitude.total_seconds() // 60)
+    total_hours, minutes = divmod(total_minutes, 60)
+    text = f"{sign}{total_hours // 24}d {total_hours % 24}h"
+    if minutes:
+        text += f" {minutes}m"
+    return text
 
 
 def to_days(delta: Duration) -> float:

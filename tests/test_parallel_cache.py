@@ -74,6 +74,35 @@ class TestParallelScanEquivalence:
         with pytest.raises(ValueError):
             DetectionEngine(Ruleset(), workers=0)
 
+    def test_overlapping_scans_from_threads(self, seeded_world):
+        """Concurrent parallel scans must not read each other's pinned
+        fork state (the module global is lock-guarded)."""
+        import threading
+
+        _, _, store, ruleset, serial_alerts, _ = seeded_world
+        sessions = list(store)
+        results = {}
+
+        def scan(name, subset):
+            engine = DetectionEngine(ruleset, workers=2)
+            results[name] = engine.scan(subset)
+
+        # Different-sized streams, so crossed fork state would be visible
+        # as wrong alert sets, not just reordered ones.
+        half = sessions[: len(sessions) // 2]
+        threads = [
+            threading.Thread(target=scan, args=("full", sessions)),
+            threading.Thread(target=scan, args=("half", half)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert results["full"] == serial_alerts
+        serial_half = DetectionEngine(ruleset).scan(half)
+        assert results["half"] == serial_half
+
 
 class TestShardedGenerationEquivalence:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)

@@ -3,6 +3,8 @@
 from datetime import timedelta
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.util.timeutil import (
     TimeWindow,
@@ -50,6 +52,37 @@ class TestFormatOffset:
 
     def test_zero(self):
         assert format_offset(timedelta(0)) == "0d 0h"
+
+    def test_minutes_not_dropped(self):
+        # Regression: "0d 0h 30m" used to format back as "0d 0h".
+        assert format_offset(timedelta(minutes=30)) == "0d 0h 30m"
+        assert format_offset(timedelta(days=1, hours=2, minutes=5)) == "1d 2h 5m"
+        assert format_offset(-timedelta(minutes=45)) == "-0d 0h 45m"
+
+    def test_whole_hours_stay_compact(self):
+        assert format_offset(timedelta(hours=26)) == "1d 2h"
+
+    @given(
+        days=st.integers(min_value=0, max_value=1000),
+        hrs=st.integers(min_value=0, max_value=23),
+        mins=st.integers(min_value=0, max_value=59),
+        negative=st.booleans(),
+    )
+    def test_format_parse_roundtrip(self, days, hrs, mins, negative):
+        delta = timedelta(days=days, hours=hrs, minutes=mins)
+        if negative:
+            delta = -delta
+        assert parse_offset(format_offset(delta)) == delta
+
+    @given(
+        days=st.integers(min_value=0, max_value=1000),
+        hrs=st.integers(min_value=0, max_value=23),
+        mins=st.integers(min_value=0, max_value=59),
+    )
+    def test_parse_format_parse_roundtrip(self, days, hrs, mins):
+        text = f"{days}d {hrs}h {mins}m"
+        once = parse_offset(text)
+        assert parse_offset(format_offset(once)) == once
 
 
 class TestConversions:

@@ -63,6 +63,11 @@ class TestEcdf:
         with pytest.raises(ValueError):
             Ecdf.from_values([]).at(1.0)
 
+    def test_empty_quantile_raises_value_error(self):
+        # Regression: used to escape as a bare IndexError from numpy.
+        with pytest.raises(ValueError, match="empty sample"):
+            Ecdf.from_values([]).quantile(0.5)
+
     def test_series_monotone(self):
         cdf = ecdf([3.0, 1.0, 2.0, 2.0])
         points = cdf.series()
