@@ -5,11 +5,17 @@ study run), these measure the system's throughput: traffic generation,
 telescope capture, and NIDS scanning — the pieces a downstream user would
 size a deployment with.
 
-``test_nids_scan_parallel_speedup`` additionally times the serial vs
-multiprocess scan on the session-scoped full-scale store and writes a
-machine-readable ``results/BENCH_pipeline.json`` (sessions/sec, speedup,
-worker count), so the perf trajectory is tracked across PRs.  Worker count
-defaults to 4; override with ``REPRO_BENCH_SCAN_WORKERS``.
+``test_nids_scan_engines`` additionally times the scan on the
+session-scoped full-scale store with both prefilter engines — the
+Aho-Corasick reference baseline and the C-speed regex prefilter — serial
+and multiprocess, and writes a machine-readable
+``results/BENCH_pipeline.json`` (sessions/sec per engine, prefilter
+speedup, parallel speedup, scan telemetry), so the perf trajectory is
+tracked across PRs.  Each timing takes the best of
+``REPRO_BENCH_REPEATS`` runs (default 3): wall times on shared hosts
+swing several-fold under load, and min-of-K is the standard noise
+rejection.  Worker count defaults to 4; override with
+``REPRO_BENCH_SCAN_WORKERS``.
 """
 
 import json
@@ -24,6 +30,7 @@ from repro.telescope.config import TelescopeConfig
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 SCAN_WORKERS = int(os.environ.get("REPRO_BENCH_SCAN_WORKERS", "4"))
+SCAN_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 
 
 def _small_config():
@@ -64,39 +71,93 @@ def test_nids_scan_throughput(benchmark):
     assert alerts
 
 
-def test_nids_scan_parallel_speedup(study_full, results_dir):
-    """Serial vs multiprocess scan on the full-scale store.
+def _best_scan(make_engine, store, reference_alerts=None):
+    """Best-of-``SCAN_REPEATS`` scan; returns (seconds, alerts, stats).
 
-    Asserts the parallel scan is *identical* to the serial one and records
-    both throughputs to ``BENCH_pipeline.json``.  The speedup itself is
-    recorded, not asserted — it is a property of the host (cores), not of
-    the code.
+    Every repeat's alert stream is asserted identical to the reference
+    (when given) and to the other repeats, so a timing can never come from
+    a run that produced different detections.
+    """
+    best_seconds = None
+    best_stats = None
+    alerts = None
+    for _ in range(max(1, SCAN_REPEATS)):
+        engine = make_engine()
+        start = time.perf_counter()
+        run_alerts = engine.scan(store)
+        elapsed = time.perf_counter() - start
+        if alerts is None:
+            alerts = run_alerts
+        else:
+            assert run_alerts == alerts
+        if reference_alerts is not None:
+            assert run_alerts == reference_alerts
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best_stats = engine.stats
+    return best_seconds, alerts, best_stats
+
+
+def test_nids_scan_engines(study_full, results_dir):
+    """Aho-Corasick baseline vs regex prefilter on the full-scale store.
+
+    Times the serial scan under both prefilter engines and the multiprocess
+    scan under the default (regex) engine, asserting all three produce
+    identical alert streams, and records everything — including per-engine
+    :class:`~repro.nids.engine.ScanTelemetry` — to ``BENCH_pipeline.json``.
+    The speedups themselves are recorded, not asserted: they are properties
+    of the host, not of the code.  (The acceptance target for this PR stack
+    is ``prefilter_speedup >= 3`` at full scale on an unloaded machine.)
     """
     store = study_full.store
-    ruleset = build_study_ruleset()
-
-    start = time.perf_counter()
-    serial_alerts = DetectionEngine(ruleset).scan(store)
-    serial_seconds = time.perf_counter() - start
-
-    parallel_engine = DetectionEngine(ruleset, workers=SCAN_WORKERS)
-    start = time.perf_counter()
-    parallel_alerts = parallel_engine.scan(store)
-    parallel_seconds = time.perf_counter() - start
-
-    assert parallel_alerts == serial_alerts
     sessions = len(store)
+
+    aho_seconds, aho_alerts, aho_stats = _best_scan(
+        lambda: DetectionEngine(build_study_ruleset(prefilter="aho")), store
+    )
+    regex_ruleset = build_study_ruleset(prefilter="regex")
+    regex_seconds, regex_alerts, regex_stats = _best_scan(
+        lambda: DetectionEngine(regex_ruleset), store, aho_alerts
+    )
+    parallel_seconds, _, parallel_stats = _best_scan(
+        lambda: DetectionEngine(regex_ruleset, workers=SCAN_WORKERS),
+        store,
+        aho_alerts,
+    )
+    assert regex_stats == aho_stats  # telemetry excluded from equality
+
     payload = {
         "sessions": sessions,
-        "alerts": len(serial_alerts),
+        "alerts": len(regex_alerts),
         "workers": SCAN_WORKERS,
         "cpu_count": os.cpu_count(),
-        "serial_seconds": round(serial_seconds, 3),
+        "repeats": SCAN_REPEATS,
+        # Legacy keys: the default-engine (regex) numbers, so the trajectory
+        # across PRs stays comparable.
+        "serial_seconds": round(regex_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
-        "serial_sessions_per_sec": round(sessions / serial_seconds, 1),
+        "serial_sessions_per_sec": round(sessions / regex_seconds, 1),
         "parallel_sessions_per_sec": round(sessions / parallel_seconds, 1),
-        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "speedup": round(regex_seconds / parallel_seconds, 3),
+        "prefilter_speedup": round(aho_seconds / regex_seconds, 3),
         "volume_scale": study_full.config.volume_scale,
+        "engines": {
+            "aho": {
+                "serial_seconds": round(aho_seconds, 3),
+                "serial_sessions_per_sec": round(sessions / aho_seconds, 1),
+                "telemetry": aho_stats.telemetry.as_dict(),
+            },
+            "regex": {
+                "serial_seconds": round(regex_seconds, 3),
+                "serial_sessions_per_sec": round(sessions / regex_seconds, 1),
+                "parallel_seconds": round(parallel_seconds, 3),
+                "parallel_sessions_per_sec": round(
+                    sessions / parallel_seconds, 1
+                ),
+                "telemetry": regex_stats.telemetry.as_dict(),
+                "parallel_telemetry": parallel_stats.telemetry.as_dict(),
+            },
+        },
     }
     (results_dir / "BENCH_pipeline.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"

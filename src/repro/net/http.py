@@ -82,13 +82,23 @@ class HttpRequest:
         return head.encode("utf-8", errors="surrogateescape") + b"\r\n\r\n" + self.body
 
 
-def parse_http_request(payload: bytes) -> Optional[HttpRequest]:
-    """Parse a captured client payload as an HTTP request.
+def split_http_head(
+    payload: bytes,
+) -> Optional[Tuple[str, str, str, List[str], bytes]]:
+    """First parse stage: ``(method, uri, version, header_lines, body)``.
 
-    Returns None when the payload does not look like HTTP at all (no request
-    line with an HTTP version token).  Malformed header lines are skipped
-    rather than failing the whole parse.
+    Split out of :func:`parse_http_request` so a caller that only needs the
+    request line or body (the NIDS ``http_uri``/``http_method``/
+    ``http_client_body`` buffers) can skip parsing the header lines, which
+    dominate the full parse.  Returns None exactly when the full parse
+    would.
     """
+    if b"HTTP/" not in payload:
+        # Exact fast reject: a successful parse requires a version token
+        # starting with "HTTP/", and those ASCII bytes survive the
+        # surrogateescape decode unchanged — so absence in the raw payload
+        # guarantees the full parse would return None.
+        return None
     head, separator, body = payload.partition(b"\r\n\r\n")
     if not separator:
         head, separator, body = payload.partition(b"\n\n")
@@ -103,12 +113,39 @@ def parse_http_request(payload: bytes) -> Optional[HttpRequest]:
     if len(request_line) != 3 or not request_line[2].startswith("HTTP/"):
         return None
     method, uri, version = request_line
+    return method, uri, version, lines[1:], body
+
+
+def parse_http_headers(lines: List[str]) -> List[Tuple[str, str]]:
+    """Second parse stage: header tuples from raw header lines.
+
+    Malformed lines (no colon, empty name) are skipped rather than failing
+    the whole parse.
+    """
     headers: List[Tuple[str, str]] = []
-    for line in lines[1:]:
+    for line in lines:
         name, colon, value = line.partition(":")
         if not colon or not name.strip():
             continue
         headers.append((name.strip(), value.strip()))
+    return headers
+
+
+def parse_http_request(payload: bytes) -> Optional[HttpRequest]:
+    """Parse a captured client payload as an HTTP request.
+
+    Returns None when the payload does not look like HTTP at all (no request
+    line with an HTTP version token).  Malformed header lines are skipped
+    rather than failing the whole parse.
+    """
+    parsed = split_http_head(payload)
+    if parsed is None:
+        return None
+    method, uri, version, header_lines, body = parsed
     return HttpRequest(
-        method=method, uri=uri, version=version, headers=headers, body=body
+        method=method,
+        uri=uri,
+        version=version,
+        headers=parse_http_headers(header_lines),
+        body=body,
     )

@@ -26,9 +26,10 @@ from repro.nids.rule import (
 from repro.nids.parser import RuleParseError, parse_rule, parse_rules
 from repro.nids.matcher import match_rule
 from repro.nids.ruleset import Alert, Ruleset
-from repro.nids.engine import DetectionEngine, DetectionStats
+from repro.nids.engine import DetectionEngine, DetectionStats, ScanTelemetry, scan_stream
 from repro.nids.parallel import parallel_scan
 from repro.nids.automaton import AhoCorasick
+from repro.nids.prefilter import RegexPrefilter
 from repro.nids.live import LiveDetectionEngine, compare_live_vs_wayback
 from repro.nids.lint import LintFinding, lint_rule, lint_rules
 
@@ -46,8 +47,11 @@ __all__ = [
     "Ruleset",
     "DetectionEngine",
     "DetectionStats",
+    "ScanTelemetry",
+    "scan_stream",
     "parallel_scan",
     "AhoCorasick",
+    "RegexPrefilter",
     "LiveDetectionEngine",
     "compare_live_vs_wayback",
     "LintFinding",

@@ -77,9 +77,15 @@ class AhoCorasick:
     def node_count(self) -> int:
         return len(self._transitions)
 
-    def search(self, haystack: bytes) -> Set[int]:
-        """Ids of every pattern occurring in the haystack (lowercased)."""
-        haystack = haystack.lower()
+    def search(self, haystack: bytes, *, lowered: bool = False) -> Set[int]:
+        """Ids of every pattern occurring in the haystack (lowercased).
+
+        ``lowered`` declares the haystack already lowercased, letting a
+        caller that holds the lowered payload (``Ruleset._candidates``)
+        skip a second ``bytes.lower`` allocation.
+        """
+        if not lowered:
+            haystack = haystack.lower()
         found: Set[int] = set()
         node = 0
         transitions = self._transitions
@@ -95,9 +101,10 @@ class AhoCorasick:
                     break
         return found
 
-    def contains_any(self, haystack: bytes) -> bool:
+    def contains_any(self, haystack: bytes, *, lowered: bool = False) -> bool:
         """Whether any pattern occurs (early-exit variant of search)."""
-        haystack = haystack.lower()
+        if not lowered:
+            haystack = haystack.lower()
         node = 0
         transitions = self._transitions
         fail = self._fail

@@ -5,30 +5,124 @@ traffic archive is scanned with the full (retrospective) ruleset, and each
 session contributes at most one alert (its earliest-published matching
 signature).
 
+The serial scan is a stream: :func:`scan_stream` consumes sessions one at a
+time without materializing per-session candidate lists, memoises the match
+outcome per distinct payload (port-insensitive matching makes the winning
+rule a pure function of the payload bytes; archives repeat payloads
+heavily), and accumulates a :class:`ScanTelemetry` describing where the
+scan spent its time.
+
 The pass is embarrassingly parallel: ``workers > 1`` partitions the archive
 into contiguous chunks and evaluates them in a process pool
 (:mod:`repro.nids.parallel`), each worker holding its own compiled ruleset.
-Alerts and statistics are merged in session order, so the parallel scan is
-indistinguishable from the serial one.
+Alerts, statistics, and telemetry are merged in session order, so the
+parallel scan is indistinguishable from the serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.session import TcpSession
+from repro.nids import matcher
 from repro.nids.ruleset import Alert, Ruleset
+
+@dataclass
+class ScanTelemetry:
+    """Where a scan spent its work, threaded through serial and parallel
+    paths into :class:`DetectionStats`.
+
+    The stage counters (``prefilter_hits``, ``candidates_*``, per-stage
+    seconds, match-cache counters) are populated by the ``regex`` engine's
+    ordered fast path; the ``aho`` reference path reports only the stream
+    totals (sessions, payload bytes, wall time).
+    """
+
+    engine: str = "regex"
+    sessions: int = 0
+    payload_bytes: int = 0
+    #: Payloads (memo misses) where the prefilter nominated >= 1 candidate.
+    prefilter_hits: int = 0
+    candidates_nominated: int = 0
+    candidates_evaluated: int = 0
+    match_cache_hits: int = 0
+    match_cache_misses: int = 0
+    prefilter_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    #: Snapshot of the pcre compile cache (hits, misses, maxsize, currsize)
+    #: taken when the scan finishes — eviction churn shows up as misses
+    #: exceeding the distinct-pattern count.
+    pcre_cache: Optional[Tuple[int, int, Optional[int], int]] = None
+
+    @property
+    def prefilter_hit_ratio(self) -> float:
+        """Fraction of prefiltered payloads that nominated candidates."""
+        if self.match_cache_misses == 0:
+            return 0.0
+        return self.prefilter_hits / self.match_cache_misses
+
+    @property
+    def match_cache_hit_ratio(self) -> float:
+        probes = self.match_cache_hits + self.match_cache_misses
+        if probes == 0:
+            return 0.0
+        return self.match_cache_hits / probes
+
+    def merge(self, other: "ScanTelemetry") -> None:
+        """Fold another scan's counters into this one (parallel workers)."""
+        self.sessions += other.sessions
+        self.payload_bytes += other.payload_bytes
+        self.prefilter_hits += other.prefilter_hits
+        self.candidates_nominated += other.candidates_nominated
+        self.candidates_evaluated += other.candidates_evaluated
+        self.match_cache_hits += other.match_cache_hits
+        self.match_cache_misses += other.match_cache_misses
+        self.prefilter_seconds += other.prefilter_seconds
+        self.eval_seconds += other.eval_seconds
+        self.scan_seconds += other.scan_seconds
+        if other.pcre_cache is not None:
+            self.pcre_cache = other.pcre_cache
+
+    def snapshot_pcre_cache(self) -> None:
+        info = matcher._compiled.cache_info()
+        self.pcre_cache = (info.hits, info.misses, info.maxsize, info.currsize)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (benchmark records, debugging dumps)."""
+        return {
+            "engine": self.engine,
+            "sessions": self.sessions,
+            "payload_bytes": self.payload_bytes,
+            "prefilter_hits": self.prefilter_hits,
+            "prefilter_hit_ratio": self.prefilter_hit_ratio,
+            "candidates_nominated": self.candidates_nominated,
+            "candidates_evaluated": self.candidates_evaluated,
+            "match_cache_hits": self.match_cache_hits,
+            "match_cache_misses": self.match_cache_misses,
+            "match_cache_hit_ratio": self.match_cache_hit_ratio,
+            "prefilter_seconds": self.prefilter_seconds,
+            "eval_seconds": self.eval_seconds,
+            "scan_seconds": self.scan_seconds,
+            "pcre_cache": self.pcre_cache,
+        }
 
 
 @dataclass
 class DetectionStats:
-    """Counters from one engine pass."""
+    """Counters from one engine pass.
+
+    ``telemetry`` is diagnostic (timings vary run to run) and excluded from
+    equality so parallel and serial passes still compare equal.
+    """
 
     sessions_scanned: int = 0
     sessions_alerted: int = 0
     pre_publication_alerts: int = 0
     alerts_by_sid: Dict[int, int] = field(default_factory=dict)
+    telemetry: ScanTelemetry = field(default_factory=ScanTelemetry, compare=False)
 
     @property
     def alert_rate(self) -> float:
@@ -42,6 +136,109 @@ class DetectionStats:
         if alert.pre_publication:
             self.pre_publication_alerts += 1
         self.alerts_by_sid[alert.sid] = self.alerts_by_sid.get(alert.sid, 0) + 1
+
+
+def scan_stream(
+    ruleset: Ruleset, sessions: Iterable[TcpSession]
+) -> Tuple[List[Alert], int, ScanTelemetry]:
+    """Scan a session stream; the shared core of serial and worker scans.
+
+    Returns ``(alerts, sessions_scanned, telemetry)`` with alerts in stream
+    order.  With the ``regex`` engine, match outcomes are memoised per
+    payload (plus the port pair when the ruleset is port-sensitive, since
+    ports then join the match decision); the ``aho`` engine runs the
+    reference per-session loop untouched.
+    """
+    ruleset._ensure_compiled()
+    telemetry = ScanTelemetry(engine=ruleset.prefilter_engine)
+    started = perf_counter()
+    items = sessions if isinstance(sessions, list) else list(sessions)
+    scanned = len(items)
+
+    if ruleset.prefilter_engine == "aho":
+        alerts: List[Alert] = []
+        match_session = ruleset.match_session
+        for session in items:
+            alert = match_session(session)
+            if alert is not None:
+                alerts.append(alert)
+    else:
+        match_payload = ruleset._match_payload
+        alert_for = ruleset._alert_for
+        port_sensitive = not ruleset.port_insensitive
+        # Pass 1: resolve each distinct payload (plus the port pair when the
+        # ruleset is port-sensitive, since ports then join the match
+        # decision) to its winning rule index once.  The dedup itself is a
+        # C-speed set comprehension rather than a per-session probe loop.
+        memo: Dict[object, Optional[int]] = {}
+        prefilter_hits = nominated = evaluated = 0
+        prefilter_seconds = eval_seconds = 0.0
+        if port_sensitive:
+            distinct = {
+                (session.payload, session.src_port, session.dst_port)
+                for session in items
+                if session.payload
+            }
+            probes = sum(1 for session in items if session.payload)
+            for key in distinct:
+                payload, src_port, dst_port = key
+                winner, hit, n_nominated, n_evaluated, t_prefilter, t_eval = (
+                    match_payload(payload, src_port=src_port, dst_port=dst_port)
+                )
+                memo[key] = winner
+                if hit:
+                    prefilter_hits += 1
+                nominated += n_nominated
+                evaluated += n_evaluated
+                prefilter_seconds += t_prefilter
+                eval_seconds += t_eval
+        else:
+            payloads = {session.payload for session in items}
+            payloads.discard(b"")
+            probes = scanned - sum(
+                1 for session in items if not session.payload
+            )
+            (
+                memo,
+                prefilter_hits,
+                nominated,
+                evaluated,
+                prefilter_seconds,
+                eval_seconds,
+            ) = ruleset.match_payloads(payloads)
+        # Pass 2: emit alerts in stream order.  Empty payloads miss the memo
+        # and fall out as None, same as a no-match.
+        memo_get = memo.get
+        if port_sensitive:
+            alerts = [
+                alert_for(winner, session)
+                for session in items
+                if (
+                    winner := memo_get(
+                        (session.payload, session.src_port, session.dst_port)
+                    )
+                )
+                is not None
+            ]
+        else:
+            alerts = [
+                alert_for(winner, session)
+                for session in items
+                if (winner := memo_get(session.payload)) is not None
+            ]
+        telemetry.match_cache_misses = len(memo)
+        telemetry.match_cache_hits = probes - len(memo)
+        telemetry.prefilter_hits = prefilter_hits
+        telemetry.candidates_nominated = nominated
+        telemetry.candidates_evaluated = evaluated
+        telemetry.prefilter_seconds = prefilter_seconds
+        telemetry.eval_seconds = eval_seconds
+
+    telemetry.sessions = scanned
+    telemetry.payload_bytes = sum(len(session.payload) for session in items)
+    telemetry.scan_seconds = perf_counter() - started
+    telemetry.snapshot_pcre_cache()
+    return alerts, scanned, telemetry
 
 
 class DetectionEngine:
@@ -65,7 +262,9 @@ class DetectionEngine:
         self.ruleset = ruleset
         self.workers = workers
         self.chunk_size = chunk_size
-        self.stats = DetectionStats()
+        self.stats = DetectionStats(
+            telemetry=ScanTelemetry(engine=ruleset.prefilter_engine)
+        )
 
     def scan(self, sessions: Iterable[TcpSession]) -> List[Alert]:
         """Scan sessions; returns retained alerts in session order."""
@@ -73,7 +272,7 @@ class DetectionEngine:
             return self._scan_serial(sessions)
         from repro.nids.parallel import parallel_scan
 
-        alerts, scanned = parallel_scan(
+        alerts, scanned, telemetry = parallel_scan(
             self.ruleset,
             sessions,
             workers=self.workers,
@@ -84,17 +283,15 @@ class DetectionEngine:
         self.stats.sessions_scanned += scanned
         for alert in alerts:
             self.stats.record(alert)
+        self.stats.telemetry.merge(telemetry)
         return alerts
 
     def _scan_serial(self, sessions: Iterable[TcpSession]) -> List[Alert]:
-        alerts: List[Alert] = []
-        for session in sessions:
-            self.stats.sessions_scanned += 1
-            alert = self.ruleset.match_session(session)
-            if alert is None:
-                continue
+        alerts, scanned, telemetry = scan_stream(self.ruleset, sessions)
+        self.stats.sessions_scanned += scanned
+        for alert in alerts:
             self.stats.record(alert)
-            alerts.append(alert)
+        self.stats.telemetry.merge(telemetry)
         return alerts
 
     def scan_one(self, session: TcpSession) -> Optional[Alert]:

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.net.http import HttpRequest, parse_http_request
+from repro.net.http import HttpRequest, parse_http_headers, split_http_head
 from repro.net.session import TcpSession
 from repro.nids.rule import (
     ContentMatch,
@@ -25,71 +25,142 @@ from repro.nids.rule import (
 )
 
 
+#: Stable small-int index per buffer kind; the plan-compiled match path in
+#: ``Ruleset`` addresses buffers by these ints to skip enum dispatch.
+_BUFFER_INDEX: Dict[HttpBuffer, int] = {
+    buffer: index for index, buffer in enumerate(HttpBuffer)
+}
+_BUFFER_COUNT = len(_BUFFER_INDEX)
+RAW_INDEX = _BUFFER_INDEX[HttpBuffer.RAW]
+URI_INDEX = _BUFFER_INDEX[HttpBuffer.HTTP_URI]
+_HEADER_INDEX = _BUFFER_INDEX[HttpBuffer.HTTP_HEADER]
+_COOKIE_INDEX = _BUFFER_INDEX[HttpBuffer.HTTP_COOKIE]
+_BODY_INDEX = _BUFFER_INDEX[HttpBuffer.HTTP_CLIENT_BODY]
+_METHOD_INDEX = _BUFFER_INDEX[HttpBuffer.HTTP_METHOD]
+
+#: Cache sentinel distinct from ``None`` — "not yet computed" vs "computed,
+#: and the buffer is unavailable".  Caching the ``None`` outcome matters:
+#: a non-HTTP payload probed by many HTTP-buffer options must parse once,
+#: not once per option.
+_MISSING = object()
+
+
 class SessionBuffers:
     """Lazily extracted match buffers for one session payload.
 
     Parsing HTTP once per session (not once per rule) is the difference
     between the engine being usable on 100k-session archives or not.
+    Buffer values and their lowercased forms are memoised in small lists
+    indexed by :data:`_BUFFER_INDEX`, with :data:`_MISSING` marking "not
+    yet computed" so the absent (``None``) outcome is cached too.
+
+    Parsing is staged: the request line and body (``http_uri``,
+    ``http_method``, ``http_client_body``) come from
+    :func:`repro.net.http.split_http_head` alone; the header lines are only
+    parsed into an :class:`HttpRequest` when a header-derived buffer
+    (``http_header``, ``http_cookie``) is requested — most rules never get
+    that far.
     """
+
+    __slots__ = ("raw", "_head", "_head_parsed", "_http", "_http_parsed", "_vals", "_lows")
 
     def __init__(self, payload: bytes) -> None:
         self.raw = payload
+        self._head: Optional[Tuple[str, str, str, List[str], bytes]] = None
+        self._head_parsed = False
         self._http: Optional[HttpRequest] = None
         self._http_parsed = False
-        self._cache: Dict[HttpBuffer, Optional[bytes]] = {}
-        self._lower: Dict[HttpBuffer, bytes] = {}
+        self._vals = [_MISSING] * _BUFFER_COUNT
+        self._vals[RAW_INDEX] = payload
+        self._lows = [_MISSING] * _BUFFER_COUNT
+
+    @property
+    def head(self) -> Optional[Tuple[str, str, str, List[str], bytes]]:
+        """The split request head, or None for non-HTTP payloads."""
+        if not self._head_parsed:
+            self._head = split_http_head(self.raw)
+            self._head_parsed = True
+        return self._head
 
     @property
     def http(self) -> Optional[HttpRequest]:
         if not self._http_parsed:
-            self._http = parse_http_request(self.raw)
+            head = self.head
+            if head is None:
+                self._http = None
+            else:
+                method, uri, version, header_lines, body = head
+                self._http = HttpRequest(
+                    method=method,
+                    uri=uri,
+                    version=version,
+                    headers=parse_http_headers(header_lines),
+                    body=body,
+                )
             self._http_parsed = True
         return self._http
 
+    def get_index(self, index: int) -> Optional[bytes]:
+        """The bytes for the buffer at ``index``, or None when unavailable."""
+        value = self._vals[index]
+        if value is not _MISSING:
+            return value
+        if index == _HEADER_INDEX or index == _COOKIE_INDEX:
+            request = self.http
+            if request is None:
+                value = None
+            elif index == _HEADER_INDEX:
+                value = request.raw_headers.encode("utf-8", errors="surrogateescape")
+            else:
+                value = request.cookie.encode("utf-8", errors="surrogateescape")
+        else:
+            head = self.head
+            if head is None:
+                value = None
+            elif index == URI_INDEX:
+                value = head[1].encode("utf-8", errors="surrogateescape")
+            elif index == _BODY_INDEX:
+                value = head[4]
+            elif index == _METHOD_INDEX:
+                value = head[0].encode("utf-8", errors="surrogateescape")
+            else:  # pragma: no cover - exhaustive over enum
+                raise AssertionError(index)
+        self._vals[index] = value
+        return value
+
     def get(self, buffer: HttpBuffer) -> Optional[bytes]:
         """The bytes for a buffer, or None when unavailable (non-HTTP)."""
-        if buffer is HttpBuffer.RAW:
-            return self.raw
-        if buffer in self._cache:
-            return self._cache[buffer]
-        request = self.http
-        value: Optional[bytes]
-        if request is None:
-            value = None
-        elif buffer is HttpBuffer.HTTP_URI:
-            value = request.uri.encode("utf-8", errors="surrogateescape")
-        elif buffer is HttpBuffer.HTTP_HEADER:
-            value = request.raw_headers.encode("utf-8", errors="surrogateescape")
-        elif buffer is HttpBuffer.HTTP_COOKIE:
-            value = request.cookie.encode("utf-8", errors="surrogateescape")
-        elif buffer is HttpBuffer.HTTP_CLIENT_BODY:
-            value = request.body
-        elif buffer is HttpBuffer.HTTP_METHOD:
-            value = request.method.encode("utf-8", errors="surrogateescape")
-        else:  # pragma: no cover - exhaustive over enum
-            raise AssertionError(buffer)
-        self._cache[buffer] = value
-        return value
+        return self.get_index(_BUFFER_INDEX[buffer])
+
+    def lowered_index(self, index: int) -> Optional[bytes]:
+        """Lowercased buffer bytes at ``index``, computed at most once."""
+        low = self._lows[index]
+        if low is not _MISSING:
+            return low
+        value = self.get_index(index)
+        low = None if value is None else value.lower()
+        self._lows[index] = low
+        return low
 
     def lowered(self, buffer: HttpBuffer) -> Optional[bytes]:
         """Lowercased buffer bytes, computed at most once per session.
 
         Every ``nocase`` option of every candidate rule needs the lowered
         haystack; on archives with hundreds of candidate rules per session,
-        re-lowering the payload per option dominated the match loop.
+        re-lowering the payload per option dominated the match loop.  The
+        absent (``None``) outcome is cached as well, so repeated ``nocase``
+        probes against a missing HTTP buffer don't re-enter :meth:`get`.
         """
-        cached = self._lower.get(buffer)
-        if cached is not None:
-            return cached
-        value = self.get(buffer)
-        if value is None:
-            return None
-        lowered = value.lower()
-        self._lower[buffer] = lowered
-        return lowered
+        return self.lowered_index(_BUFFER_INDEX[buffer])
 
 
-@lru_cache(maxsize=4096)
+#: Sized to hold every distinct pcre in a full study ruleset with ample
+#: slack, so a long scan never cycles compile/evict.  Eviction churn is
+#: observable through ``ScanTelemetry.pcre_cache``.
+PCRE_CACHE_SIZE = 65536
+
+
+@lru_cache(maxsize=PCRE_CACHE_SIZE)
 def _compiled(pattern: str, flags: int) -> "re.Pattern[bytes]":
     return re.compile(pattern.encode("utf-8"), flags)
 

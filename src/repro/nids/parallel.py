@@ -80,17 +80,6 @@ def _decode_alerts(rows: List[AlertTuple]) -> List[Alert]:
     ]
 
 
-def _scan_with(
-    ruleset: Ruleset, sessions: Iterable[TcpSession]
-) -> List[Alert]:
-    alerts: List[Alert] = []
-    for session in sessions:
-        alert = ruleset.match_session(session)
-        if alert is not None:
-            alerts.append(alert)
-    return alerts
-
-
 def _init_worker(ruleset_blob: bytes) -> None:
     """Spawn-path pool initializer: install this worker's compiled ruleset."""
     global _worker_ruleset
@@ -99,23 +88,30 @@ def _init_worker(ruleset_blob: bytes) -> None:
     _worker_ruleset = ruleset
 
 
-def _scan_chunk(sessions: Sequence[TcpSession]) -> Tuple[List[AlertTuple], int]:
+def _scan_chunk(
+    sessions: Sequence[TcpSession],
+) -> Tuple[List[AlertTuple], int, "ScanTelemetry"]:
     """Spawn path: scan one shipped chunk with the worker-local ruleset."""
+    from repro.nids.engine import scan_stream
+
     if _worker_ruleset is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker ruleset not initialised")
-    return _encode_alerts(_scan_with(_worker_ruleset, sessions)), len(sessions)
+    alerts, scanned, telemetry = scan_stream(_worker_ruleset, sessions)
+    return _encode_alerts(alerts), scanned, telemetry
 
 
-def _scan_range(bounds: Tuple[int, int]) -> Tuple[List[AlertTuple], int]:
+def _scan_range(
+    bounds: Tuple[int, int]
+) -> Tuple[List[AlertTuple], int, "ScanTelemetry"]:
     """Fork path: scan a slice of the inherited session list."""
+    from repro.nids.engine import scan_stream
+
     if _fork_state is None:  # pragma: no cover - set before the pool forks
         raise RuntimeError("fork state not pinned")
     ruleset, sessions = _fork_state
     start, stop = bounds
-    return (
-        _encode_alerts(_scan_with(ruleset, sessions[start:stop])),
-        stop - start,
-    )
+    alerts, scanned, telemetry = scan_stream(ruleset, sessions[start:stop])
+    return _encode_alerts(alerts), scanned, telemetry
 
 
 def chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -134,14 +130,17 @@ def parallel_scan(
     *,
     workers: int,
     chunk_size: Optional[int] = None,
-) -> Tuple[List[Alert], int]:
+) -> Tuple[List[Alert], int, "ScanTelemetry"]:
     """Scan sessions across ``workers`` processes.
 
-    Returns ``(alerts, sessions_scanned)`` with alerts in session order —
-    identical to what a serial :meth:`Ruleset.match_session` sweep over the
-    same stream retains.  Falls back to an in-process scan when the stream
-    is too small to be worth a pool.
+    Returns ``(alerts, sessions_scanned, telemetry)`` with alerts in
+    session order — identical to what a serial :meth:`Ruleset.match_session`
+    sweep over the same stream retains — and the per-worker telemetry merged
+    in chunk order.  Falls back to an in-process scan when the stream is too
+    small to be worth a pool.
     """
+    from repro.nids.engine import ScanTelemetry, scan_stream
+
     global _fork_state
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -150,12 +149,12 @@ def parallel_scan(
         chunk_size = max(1, -(-len(items) // (workers * CHUNKS_PER_WORKER)))
     bounds = chunk_bounds(len(items), chunk_size)
     if workers == 1 or len(bounds) <= 1:
-        ruleset._ensure_compiled()
-        return _scan_with(ruleset, items), len(items)
+        return scan_stream(ruleset, items)
 
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     merged: List[Alert] = []
     scanned = 0
+    telemetry = ScanTelemetry(engine=ruleset.prefilter_engine)
     if use_fork:
         # Compile once in the parent; forked workers inherit the compiled
         # ruleset and the session list copy-on-write, so tasks are just
@@ -169,9 +168,10 @@ def parallel_scan(
                     max_workers=min(workers, len(bounds)),
                     mp_context=multiprocessing.get_context("fork"),
                 ) as pool:
-                    for rows, count in pool.map(_scan_range, bounds):
+                    for rows, count, chunk_telemetry in pool.map(_scan_range, bounds):
                         merged.extend(_decode_alerts(rows))
                         scanned += count
+                        telemetry.merge(chunk_telemetry)
             finally:
                 _fork_state = None
     else:  # pragma: no cover - exercised only on spawn-only platforms
@@ -182,7 +182,8 @@ def parallel_scan(
             initializer=_init_worker,
             initargs=(blob,),
         ) as pool:
-            for rows, count in pool.map(_scan_chunk, chunks):
+            for rows, count, chunk_telemetry in pool.map(_scan_chunk, chunks):
                 merged.extend(_decode_alerts(rows))
                 scanned += count
-    return merged, scanned
+                telemetry.merge(chunk_telemetry)
+    return merged, scanned, telemetry

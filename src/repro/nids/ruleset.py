@@ -6,22 +6,72 @@ earliest-*published* matching signature (Section 3.1) — this attributes a
 session to the first defense that could ever have caught it, which is what
 the D (fix deployed) comparison needs.
 
-Matching is prefiltered the way real Snort does it: an Aho-Corasick
-automaton over every rule's *fast pattern* scans each payload once and
-nominates candidate rules; only candidates get full option evaluation.
-Rules without a usable fast pattern (pure-pcre rules) are always candidates.
+Matching is prefiltered the way real Snort does it: a multi-pattern search
+over every rule's *fast pattern* scans each payload once and nominates
+candidate rules; only candidates get full option evaluation.  Rules without
+a usable fast pattern (pure-pcre rules) are always candidates.
+
+Two interchangeable prefilter engines are provided (selected by the
+``prefilter`` constructor argument, the ``REPRO_PREFILTER`` environment
+variable, or the default ``"regex"``):
+
+* ``"regex"`` — :class:`repro.nids.prefilter.RegexPrefilter`, which drives
+  the scan through CPython's C-implemented ``re`` engine.  This engine also
+  enables the *ordered lazy* retention path: candidate rules are walked in
+  ascending publication order (a ``heapq.merge`` across per-pattern rule
+  lists pre-sorted at compile time), so the first full match *is* the
+  earliest-published one and evaluation stops there.  Rule option lists are
+  flattened into positional step tuples (:func:`_compile_plan`) evaluated
+  by :func:`_eval_plan` with int-indexed buffers and pre-lowered ``nocase``
+  needles.
+* ``"aho"`` — the pure-Python :class:`repro.nids.automaton.AhoCorasick`
+  reference implementation with the original evaluate-every-candidate
+  retention loop, kept as the differential baseline.
+
+Both engines nominate identical candidate sets and retain identical alerts
+(``tests/test_prefilter.py``, ``tests/test_scan_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+from array import array
 from dataclasses import dataclass
 from datetime import datetime
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.session import TcpSession
 from repro.nids.automaton import AhoCorasick
-from repro.nids.matcher import SessionBuffers, match_rule
-from repro.nids.rule import Rule
+from repro.nids.matcher import (
+    _BUFFER_INDEX,
+    URI_INDEX,
+    SessionBuffers,
+    _compiled as _compiled_pcre,
+    match_rule,
+)
+from repro.nids.prefilter import RegexPrefilter
+from repro.nids.rule import ContentMatch, IsDataAt, PcreMatch, Rule, SizeBound
+
+#: Environment variable naming the prefilter engine (``regex`` or ``aho``).
+#: An explicit ``Ruleset(prefilter=...)`` argument wins over the variable.
+PREFILTER_ENV = "REPRO_PREFILTER"
+
+#: Valid prefilter engine names.
+PREFILTER_ENGINES = ("regex", "aho")
+
+
+def resolve_prefilter_engine(prefilter: Optional[str] = None) -> str:
+    """The engine to use: explicit argument, else environment, else regex."""
+    engine = prefilter if prefilter is not None else os.environ.get(PREFILTER_ENV)
+    engine = (engine or "regex").lower()
+    if engine not in PREFILTER_ENGINES:
+        raise ValueError(
+            f"unknown prefilter engine {engine!r}; "
+            f"expected one of {PREFILTER_ENGINES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -44,21 +94,176 @@ class Alert:
         return self.timestamp < self.rule_published
 
 
+# -- compiled match plans ------------------------------------------------------
+#
+# ``match_rule`` re-dispatches on option dataclass types and enum buffers for
+# every candidate of every session.  The plan compiler flattens each rule's
+# option list once, at ruleset compile time, into positional tuples with the
+# per-option constants precomputed (buffer index, lowered nocase needle,
+# compiled pcre), leaving ``_eval_plan`` a branch on a small int opcode.
+
+_OP_CONTENT, _OP_PCRE, _OP_SIZE, _OP_ISDATAAT = 0, 1, 2, 3
+_N_BUFFERS = len(_BUFFER_INDEX)
+
+
+def _compile_plan(rule: Rule) -> Tuple[tuple, ...]:
+    """Flatten a rule's options into step tuples for :func:`_eval_plan`."""
+    steps: List[tuple] = []
+    for option in rule.options:
+        if isinstance(option, SizeBound):
+            steps.append((_OP_SIZE, option.kind == "dsize", option))
+        elif isinstance(option, IsDataAt):
+            steps.append(
+                (_OP_ISDATAAT, option.offset, option.relative, option.negated)
+            )
+        elif isinstance(option, ContentMatch):
+            steps.append(
+                (
+                    _OP_CONTENT,
+                    _BUFFER_INDEX[option.buffer],
+                    option.pattern.lower() if option.nocase else option.pattern,
+                    option.nocase,
+                    option.negated,
+                    option.offset or 0,
+                    option.depth,
+                    option.distance or 0,
+                    option.within,
+                    option.is_relative,
+                )
+            )
+        elif isinstance(option, PcreMatch):
+            steps.append(
+                (
+                    _OP_PCRE,
+                    _BUFFER_INDEX[option.buffer],
+                    _compiled_pcre(option.pattern, option.flags),
+                    option.negated,
+                )
+            )
+        else:  # pragma: no cover - AST is closed
+            raise AssertionError(f"unknown option type {option!r}")
+    return tuple(steps)
+
+
+def _eval_plan(steps: Tuple[tuple, ...], buffers: SessionBuffers) -> bool:
+    """Evaluate a compiled plan against one session's buffers.
+
+    Semantically identical to :func:`repro.nids.matcher.match_rule` minus
+    the port constraints, which the caller hoists (the study's default is
+    port-insensitive, where they vanish entirely).
+    """
+    anchors = [0] * _N_BUFFERS
+    last = 0  # RAW
+    for step in steps:
+        op = step[0]
+        if op == _OP_CONTENT:
+            (
+                _,
+                buf,
+                needle,
+                nocase,
+                negated,
+                offset,
+                depth,
+                distance,
+                within,
+                relative,
+            ) = step
+            haystack = (
+                buffers.lowered_index(buf) if nocase else buffers.get_index(buf)
+            )
+            if haystack is None:
+                # HTTP buffer requested but the payload is not HTTP: a
+                # positive option cannot match; a negated one trivially holds.
+                if negated:
+                    continue
+                return False
+            size = len(haystack)
+            if relative:
+                start = anchors[buf] + distance
+                end = start + within if within is not None else size
+            else:
+                start = offset
+                end = start + depth if depth is not None else size
+            if start < 0 or start > size:
+                found = -1
+            else:
+                found = haystack.find(needle, start, end if end < size else size)
+            if negated:
+                if found >= 0:
+                    return False
+                continue
+            if found < 0:
+                return False
+            anchors[buf] = found + len(needle)
+            last = buf
+        elif op == _OP_PCRE:
+            _, buf, regex, negated = step
+            haystack = buffers.get_index(buf)
+            if haystack is None:
+                if negated:
+                    continue
+                return False
+            found = regex.search(haystack)
+            if negated:
+                if found is not None:
+                    return False
+                continue
+            if found is None:
+                return False
+            anchors[buf] = found.end()
+            last = buf
+        elif op == _OP_SIZE:
+            _, is_dsize, option = step
+            if is_dsize:
+                size = len(buffers.raw)
+            else:  # urilen
+                uri = buffers.get_index(URI_INDEX)
+                if uri is None:
+                    return False
+                size = len(uri)
+            if not option.matches(size):
+                return False
+        else:  # _OP_ISDATAAT
+            _, offset, relative, negated = step
+            haystack = buffers.get_index(last)
+            if haystack is None:
+                return False
+            position = offset + anchors[last] if relative else offset
+            if (position < len(haystack)) == negated:
+                return False
+    return True
+
+
 class Ruleset:
     """A set of rules with publication dates.
 
     ``port_insensitive`` (default True, per the paper) rewrites every rule
-    to drop port constraints before matching.
+    to drop port constraints before matching.  ``prefilter`` selects the
+    fast-pattern engine (see :func:`resolve_prefilter_engine`).
     """
 
-    def __init__(self, *, port_insensitive: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        port_insensitive: bool = True,
+        prefilter: Optional[str] = None,
+    ) -> None:
         self._rules: List[Tuple[Rule, datetime]] = []
         self._sid_index: Dict[int, int] = {}
         self._port_insensitive = port_insensitive
+        self._engine = resolve_prefilter_engine(prefilter)
         self._fast_patterns: List[Optional[bytes]] = []
         self._automaton: Optional[AhoCorasick] = None
+        self._prefilter: Optional[RegexPrefilter] = None
         self._pattern_rules: List[List[int]] = []
         self._unfiltered: List[int] = []
+        # Ordered fast-path tables, rebuilt by _compile().
+        self._groups: List["array[int]"] = []
+        self._unfiltered_ordered: "array[int]" = array("l")
+        self._rank: "array[int]" = array("l")
+        self._plans: List[Tuple[tuple, ...]] = []
+        self._alert_meta: List[Tuple[int, Optional[str], datetime]] = []
         self._compiled = False
 
     def __len__(self) -> int:
@@ -67,6 +272,16 @@ class Ruleset:
     @property
     def rules(self) -> List[Rule]:
         return [rule for rule, _ in self._rules]
+
+    @property
+    def prefilter_engine(self) -> str:
+        """Which fast-pattern engine this ruleset matches with."""
+        return self._engine
+
+    @property
+    def port_insensitive(self) -> bool:
+        """Whether rules were rewritten to drop port constraints."""
+        return self._port_insensitive
 
     def add(self, rule: Rule, published: datetime) -> None:
         """Register a rule with its publication timestamp."""
@@ -132,7 +347,7 @@ class Ruleset:
     # -- prefilter ----------------------------------------------------------
 
     def _compile(self) -> None:
-        """(Re)build the Aho-Corasick prefilter over fast patterns."""
+        """(Re)build the fast-pattern prefilter and the ordered match plans."""
         pattern_to_id: Dict[bytes, int] = {}
         patterns: List[bytes] = []
         self._pattern_rules = []
@@ -148,22 +363,218 @@ class Ruleset:
                 patterns.append(pattern)
                 self._pattern_rules.append([])
             self._pattern_rules[pattern_id].append(index)
-        self._automaton = AhoCorasick(patterns) if patterns else None
+        if self._engine == "aho":
+            self._automaton = AhoCorasick(patterns) if patterns else None
+            self._prefilter = None
+        else:
+            self._prefilter = RegexPrefilter(patterns) if patterns else None
+            self._automaton = None
+
+        # Publication order: rank every rule by (published, insertion index)
+        # once, then keep each pattern group's rule list sorted by that rank.
+        # match_session can then stop at the *first* full match — it is the
+        # earliest-published one by construction.
+        total = len(self._rules)
+        order = sorted(range(total), key=lambda i: (self._rules[i][1], i))
+        rank: "array[int]" = array("l", [0] * total)
+        for position, index in enumerate(order):
+            rank[index] = position
+        self._rank = rank
+        by_rank = rank.__getitem__
+        self._groups = [
+            array("l", sorted(ids, key=by_rank)) for ids in self._pattern_rules
+        ]
+        self._unfiltered_ordered = array("l", sorted(self._unfiltered, key=by_rank))
+        self._plans = [_compile_plan(rule) for rule, _ in self._rules]
+        self._alert_meta = [
+            (rule.sid, rule.cve_ids[0] if rule.cve_ids else None, published)
+            for rule, published in self._rules
+        ]
         self._compiled = True
 
     def _ensure_compiled(self) -> None:
         if not self._compiled:
             self._compile()
 
+    def _search_engine(self):
+        """The active multi-pattern matcher (engine objects are API-equal)."""
+        return self._prefilter if self._prefilter is not None else self._automaton
+
     def _candidates(self, payload: bytes) -> List[int]:
         """Rule indices whose fast pattern occurs (plus unfiltered rules)."""
         candidates = list(self._unfiltered)
-        if self._automaton is not None:
-            for pattern_id in self._automaton.search(payload):
+        engine = self._search_engine()
+        if engine is not None:
+            # Lower once here; both engines accept the pre-lowered haystack.
+            for pattern_id in engine.search(payload.lower(), lowered=True):
                 candidates.extend(self._pattern_rules[pattern_id])
         return candidates
 
     # -- matching -------------------------------------------------------------
+
+    def _match_payload(
+        self,
+        payload: bytes,
+        src_port: Optional[int] = None,
+        dst_port: Optional[int] = None,
+    ) -> Tuple[Optional[int], bool, int, int, float, float]:
+        """Earliest-published matching rule index for one payload.
+
+        The ordered lazy fast path: the prefilter nominates pattern groups,
+        candidates stream out of a heap-merge in ascending publication rank,
+        and evaluation stops at the first full match.  Returns ``(winner,
+        prefilter_hit, nominated, evaluated, prefilter_seconds,
+        eval_seconds)`` — winner is None when nothing matched; the counters
+        and stage timings feed :class:`repro.nids.engine.ScanTelemetry`.
+        """
+        t_scan = perf_counter()
+        engine = self._search_engine()
+        hits = engine.search(payload.lower(), lowered=True) if engine else ()
+        t_nominate = perf_counter()
+
+        unfiltered = self._unfiltered_ordered
+        nominated = len(unfiltered)
+        if hits:
+            groups = self._groups
+            lists = [groups[pattern_id] for pattern_id in hits]
+            for group in lists:
+                nominated += len(group)
+            if unfiltered:
+                lists.append(unfiltered)
+            if len(lists) == 1:
+                candidates = lists[0]
+            else:
+                candidates = heapq.merge(*lists, key=self._rank.__getitem__)
+        elif unfiltered:
+            candidates = unfiltered
+        else:
+            return None, False, 0, 0, t_nominate - t_scan, 0.0
+
+        winner: Optional[int] = None
+        evaluated = 0
+        buffers = SessionBuffers(payload)
+        plans = self._plans
+        if self._port_insensitive:
+            for index in candidates:
+                evaluated += 1
+                if _eval_plan(plans[index], buffers):
+                    winner = index
+                    break
+        else:
+            rules = self._rules
+            for index in candidates:
+                rule = rules[index][0]
+                if not rule.dst_ports.matches(dst_port):
+                    continue
+                if not rule.src_ports.matches(src_port):
+                    continue
+                evaluated += 1
+                if _eval_plan(plans[index], buffers):
+                    winner = index
+                    break
+        return (
+            winner,
+            bool(hits),
+            nominated,
+            evaluated,
+            t_nominate - t_scan,
+            perf_counter() - t_nominate,
+        )
+
+    def match_payloads(
+        self, payloads: Iterable[bytes]
+    ) -> Tuple[Dict[bytes, Optional[int]], int, int, int, float, float]:
+        """Bulk form of :meth:`_match_payload` over distinct payloads.
+
+        Only valid for port-insensitive rulesets (the match decision is then
+        a pure function of the payload bytes).  Returns ``(winners,
+        prefilter_hits, nominated, evaluated, prefilter_seconds,
+        eval_seconds)`` where ``winners`` maps each payload to its
+        earliest-published matching rule index or None.  The per-payload
+        loop hoists every table lookup out of the hot path — this is the
+        scan's inner loop on deduplicated archives.
+        """
+        if not self._port_insensitive:
+            raise ValueError("match_payloads requires a port-insensitive ruleset")
+        self._ensure_compiled()
+        engine = self._search_engine()
+        search = engine.search if engine is not None else None
+        groups = self._groups
+        unfiltered = self._unfiltered_ordered
+        n_unfiltered = len(unfiltered)
+        rank_key = self._rank.__getitem__
+        plans = self._plans
+        merge = heapq.merge
+        winners: Dict[bytes, Optional[int]] = {}
+        prefilter_hits = nominated = evaluated = 0
+        prefilter_seconds = eval_seconds = 0.0
+        for payload in payloads:
+            t_scan = perf_counter()
+            hits = search(payload.lower(), lowered=True) if search is not None else ()
+            t_nominate = perf_counter()
+            prefilter_seconds += t_nominate - t_scan
+            winner: Optional[int] = None
+            if hits:
+                prefilter_hits += 1
+                nominated += n_unfiltered
+                if len(hits) == 1:
+                    (pattern_id,) = hits
+                    group = groups[pattern_id]
+                    nominated += len(group)
+                    if n_unfiltered:
+                        candidates = merge(group, unfiltered, key=rank_key)
+                    else:
+                        candidates = group
+                else:
+                    lists = [groups[pattern_id] for pattern_id in hits]
+                    for group in lists:
+                        nominated += len(group)
+                    if n_unfiltered:
+                        lists.append(unfiltered)
+                    candidates = merge(*lists, key=rank_key)
+            elif n_unfiltered:
+                nominated += n_unfiltered
+                candidates = unfiltered
+            else:
+                winners[payload] = None
+                continue
+            buffers = SessionBuffers(payload)
+            for index in candidates:
+                evaluated += 1
+                if _eval_plan(plans[index], buffers):
+                    winner = index
+                    break
+            eval_seconds += perf_counter() - t_nominate
+            winners[payload] = winner
+        return (
+            winners,
+            prefilter_hits,
+            nominated,
+            evaluated,
+            prefilter_seconds,
+            eval_seconds,
+        )
+
+    def _alert_for(self, index: int, session: TcpSession) -> Alert:
+        """Build the alert for a winning rule index.
+
+        Bypasses the frozen-dataclass constructor (``__init__`` +
+        ``__setattr__`` override cost ~3x a plain dict update); equality and
+        hashing are unaffected because both read the instance dict.
+        """
+        sid, cve_id, published = self._alert_meta[index]
+        alert = object.__new__(Alert)
+        alert.__dict__.update(
+            session_id=session.session_id,
+            timestamp=session.start,
+            sid=sid,
+            cve_id=cve_id,
+            rule_published=published,
+            dst_ip=session.dst_ip,
+            dst_port=session.dst_port,
+            src_ip=session.src_ip,
+        )
+        return alert
 
     def match_session(self, session: TcpSession) -> Optional[Alert]:
         """Evaluate all rules; retain the earliest-published match.
@@ -173,6 +584,20 @@ class Ruleset:
         if not session.payload:
             return None
         self._ensure_compiled()
+        if self._engine == "aho":
+            return self._match_session_reference(session)
+        winner = self._match_payload(
+            session.payload,
+            src_port=session.src_port,
+            dst_port=session.dst_port,
+        )[0]
+        if winner is None:
+            return None
+        return self._alert_for(winner, session)
+
+    def _match_session_reference(self, session: TcpSession) -> Optional[Alert]:
+        """The original evaluate-every-candidate retention loop, kept as the
+        differential baseline for the ordered fast path."""
         buffers = SessionBuffers(session.payload)
         best: Optional[Tuple[datetime, Rule]] = None
         for index in self._candidates(session.payload):

@@ -1,0 +1,158 @@
+"""Tests for the C-speed regex fast-pattern prefilter.
+
+The unit tests mirror ``tests/test_automaton.py`` case for case — the two
+engines advertise the same contract — and the hypothesis properties check
+the strong form directly: :class:`RegexPrefilter` and
+:class:`AhoCorasick` nominate *identical* pattern-id sets on arbitrary
+inputs, including dense self-overlapping alphabets and awkward chunk
+boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nids.automaton import AhoCorasick
+from repro.nids.prefilter import (
+    DEFAULT_CHUNK_SIZE,
+    MAX_TRIE_PATTERN,
+    RegexPrefilter,
+)
+
+
+class TestRegexPrefilter:
+    def test_basic_search(self):
+        prefilter = RegexPrefilter([b"he", b"she", b"his", b"hers"])
+        assert prefilter.search(b"ushers") == {0, 1, 3}
+        assert prefilter.search(b"his hen") == {0, 2}
+        assert prefilter.search(b"nothing") == set()
+
+    def test_case_insensitive(self):
+        prefilter = RegexPrefilter([b"${JNDI:"])
+        assert prefilter.search(b"x=${jndi:ldap}") == {0}
+        assert prefilter.contains_any(b"X=${JnDi:LDAP}")
+
+    def test_overlapping_patterns(self):
+        prefilter = RegexPrefilter([b"ab", b"abc", b"bc", b"c"])
+        assert prefilter.search(b"abc") == {0, 1, 2, 3}
+
+    def test_pattern_is_prefix_of_other(self):
+        prefilter = RegexPrefilter([b"jndi", b"jndi:ldap"])
+        assert prefilter.search(b"${jndi:ldap://x}") == {0, 1}
+        assert prefilter.search(b"${jndi:rmi://x}") == {0}
+
+    def test_duplicate_patterns_both_reported(self):
+        prefilter = RegexPrefilter([b"dup", b"dup"])
+        assert prefilter.search(b"a dup b") == {0, 1}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            RegexPrefilter([b"ok", b""])
+
+    def test_empty_haystack(self):
+        prefilter = RegexPrefilter([b"x"])
+        assert prefilter.search(b"") == set()
+        assert not prefilter.contains_any(b"")
+
+    def test_binary_patterns(self):
+        prefilter = RegexPrefilter([b"\x00\xff", b"\xde\xad\xbe\xef"])
+        assert prefilter.search(b"aa\x00\xffbb\xde\xad\xbe\xef") == {0, 1}
+
+    def test_pattern_hidden_inside_reported_match(self):
+        # The greedy trie reports "aaba" at position 0; "abab" starts inside
+        # that span and must be recovered by the occurrence closure.
+        prefilter = RegexPrefilter([b"aaba", b"abab"])
+        assert prefilter.search(b"aabab") == {0, 1}
+
+    def test_lowered_flag_skips_lowering(self):
+        prefilter = RegexPrefilter([b"NeEdLe"])
+        haystack = b"xx NEEDLE xx"
+        assert prefilter.search(haystack) == {0}
+        assert prefilter.search(haystack.lower(), lowered=True) == {0}
+        # Declaring an *unlowered* haystack lowered is the caller's bug:
+        # uppercase bytes are then matched literally, like the automaton.
+        assert prefilter.search(haystack, lowered=True) == set()
+        assert prefilter.contains_any(haystack.lower(), lowered=True)
+
+    def test_chunking_preserves_results(self):
+        patterns = [b"ab", b"abc", b"bc", b"c", b"xyz", b"yz"]
+        whole = RegexPrefilter(patterns)
+        chunked = RegexPrefilter(patterns, chunk_size=2)
+        assert whole.chunk_count == 1
+        assert chunked.chunk_count == 3
+        for haystack in (b"abc", b"xyzc", b"", b"nothing", b"abcxyz"):
+            assert chunked.search(haystack) == whole.search(haystack)
+            assert chunked.contains_any(haystack) == whole.contains_any(
+                haystack
+            )
+
+    def test_long_patterns_bypass_trie(self):
+        long_pattern = b"L" * (MAX_TRIE_PATTERN + 1)
+        prefilter = RegexPrefilter([b"short", long_pattern])
+        assert prefilter.search(b"x" + long_pattern.lower() + b"x") == {1}
+        assert prefilter.search(b"a short one") == {0}
+        assert prefilter.contains_any(long_pattern)
+        # Only the short pattern occupies the trie.
+        assert prefilter.chunk_count == 1
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegexPrefilter([b"x"], chunk_size=0)
+
+    def test_default_chunk_size_sane(self):
+        assert 1 <= DEFAULT_CHUNK_SIZE
+        patterns = [bytes([65 + i % 26, 97 + i // 26]) for i in range(40)]
+        prefilter = RegexPrefilter(patterns)
+        assert prefilter.chunk_count == 1
+
+    def test_regex_metacharacters_are_literal(self):
+        prefilter = RegexPrefilter([b".*", b"a+b", b"(x)"])
+        assert prefilter.search(b"literal .* here") == {0}
+        assert prefilter.search(b"a+b and (x)") == {1, 2}
+        assert prefilter.search(b"aab xx") == set()
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=8),
+    st.binary(max_size=120),
+)
+@settings(max_examples=300)
+def test_search_equivalent_to_automaton(patterns, haystack):
+    """Property: the regex prefilter nominates exactly the automaton's
+    candidate set — the differential-equivalence guarantee the detection
+    engines rely on."""
+    automaton = AhoCorasick(patterns)
+    prefilter = RegexPrefilter(patterns)
+    expected = automaton.search(haystack)
+    assert prefilter.search(haystack) == expected
+    assert prefilter.contains_any(haystack) == automaton.contains_any(
+        haystack
+    )
+    lowered = haystack.lower()
+    assert prefilter.search(lowered, lowered=True) == expected
+    assert automaton.search(lowered, lowered=True) == expected
+
+
+@given(
+    st.lists(
+        st.text(alphabet="ab", min_size=1, max_size=5).map(
+            lambda s: s.encode()
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.text(alphabet="ab", max_size=60).map(lambda s: s.encode()),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=300)
+def test_dense_overlaps_equivalent_to_automaton(patterns, haystack, chunk):
+    """Property: a two-letter alphabet maximises self-overlap (prefixes,
+    suffix bridges, patterns hidden inside greedy matches) and small chunk
+    sizes force patterns apart — the closure logic must still agree with
+    the automaton exactly."""
+    automaton = AhoCorasick(patterns)
+    prefilter = RegexPrefilter(patterns, chunk_size=chunk)
+    assert prefilter.search(haystack) == automaton.search(haystack)
+    assert prefilter.contains_any(haystack) == automaton.contains_any(
+        haystack
+    )

@@ -1,0 +1,265 @@
+"""Differential tests: the ordered regex scan path vs the Aho reference.
+
+The regex engine changes *how* the scan runs (C-speed prefilter, ordered
+lazy retention, payload memoisation, plan-compiled evaluation) but must not
+change *what* it produces: alerts, their stream order, ``DetectionStats``
+(including ``alerts_by_sid`` insertion order), serial and parallel, are all
+asserted byte-identical to the Aho-Corasick baseline here.
+"""
+
+from datetime import datetime, timezone
+from itertools import islice
+
+import pytest
+
+from repro.exploits.rulegen import build_study_ruleset
+from repro.net.session import TcpSession
+from repro.nids import matcher
+from repro.nids.engine import DetectionEngine, ScanTelemetry
+from repro.nids.matcher import PCRE_CACHE_SIZE, SessionBuffers
+from repro.nids.parser import parse_rule
+from repro.nids.rule import HttpBuffer
+from repro.nids.ruleset import PREFILTER_ENV, Ruleset
+
+T0 = datetime(2022, 6, 1, tzinfo=timezone.utc)
+
+
+def _session(sid, payload, dst_port=80):
+    return TcpSession(
+        session_id=sid, start=T0, src_ip=1, src_port=1024,
+        dst_ip=2, dst_port=dst_port, payload=payload,
+    )
+
+
+class TestScanEquivalence:
+    """Engine-for-engine equality on the shared small-scale study store."""
+
+    def test_serial_scan_identical(self, study):
+        aho = DetectionEngine(build_study_ruleset(prefilter="aho"))
+        regex = DetectionEngine(build_study_ruleset(prefilter="regex"))
+        aho_alerts = aho.scan(study.store)
+        regex_alerts = regex.scan(study.store)
+        assert aho_alerts  # the comparison must not be vacuous
+        assert regex_alerts == aho_alerts
+        assert regex.stats == aho.stats
+        # Insertion order of alerts_by_sid is the retention order — the
+        # ordered lazy path must reproduce it exactly, not just the counts.
+        assert list(regex.stats.alerts_by_sid.items()) == list(
+            aho.stats.alerts_by_sid.items()
+        )
+
+    def test_parallel_scan_identical(self, study):
+        reference = DetectionEngine(build_study_ruleset(prefilter="aho"))
+        reference_alerts = reference.scan(study.store)
+        for engine_name in ("regex", "aho"):
+            ruleset = build_study_ruleset(prefilter=engine_name)
+            parallel = DetectionEngine(ruleset, workers=4)
+            assert parallel.scan(study.store) == reference_alerts
+            assert parallel.stats == reference.stats
+            assert list(parallel.stats.alerts_by_sid.items()) == list(
+                reference.stats.alerts_by_sid.items()
+            )
+
+    def test_match_session_identical_per_session(self, study):
+        aho = build_study_ruleset(prefilter="aho")
+        regex = build_study_ruleset(prefilter="regex")
+        sample = list(islice(study.store, 300))
+        assert sample
+        for session in sample:
+            assert regex.match_session(session) == aho.match_session(session)
+
+    def test_match_all_identical_per_session(self, study):
+        aho = build_study_ruleset(prefilter="aho")
+        regex = build_study_ruleset(prefilter="regex")
+        for session in islice(study.store, 100):
+            assert regex.match_all(session) == aho.match_all(session)
+
+
+class TestScanTelemetry:
+    def test_regex_telemetry_populated(self, study):
+        engine = DetectionEngine(build_study_ruleset(prefilter="regex"))
+        engine.scan(study.store)
+        telemetry = engine.stats.telemetry
+        store = list(study.store)
+        assert telemetry.engine == "regex"
+        assert telemetry.sessions == len(store)
+        assert telemetry.payload_bytes == sum(len(s.payload) for s in store)
+        probes = sum(1 for s in store if s.payload)
+        assert (
+            telemetry.match_cache_hits + telemetry.match_cache_misses == probes
+        )
+        # Archives repeat payloads heavily — the memo must actually hit.
+        assert telemetry.match_cache_hits > 0
+        assert 0.0 < telemetry.prefilter_hit_ratio <= 1.0
+        assert 0.0 < telemetry.match_cache_hit_ratio < 1.0
+        assert telemetry.candidates_evaluated <= telemetry.candidates_nominated
+        assert telemetry.scan_seconds > 0.0
+        assert telemetry.prefilter_seconds > 0.0
+        assert telemetry.eval_seconds > 0.0
+        hits, misses, maxsize, currsize = telemetry.pcre_cache
+        assert maxsize == PCRE_CACHE_SIZE
+        assert currsize <= maxsize
+
+    def test_aho_telemetry_reports_stream_totals(self, study):
+        engine = DetectionEngine(build_study_ruleset(prefilter="aho"))
+        engine.scan(study.store)
+        telemetry = engine.stats.telemetry
+        assert telemetry.engine == "aho"
+        assert telemetry.sessions == len(study.store)
+        assert telemetry.scan_seconds > 0.0
+        assert telemetry.match_cache_misses == 0  # stage counters unused
+
+    def test_parallel_telemetry_merged_across_workers(self, study):
+        serial = DetectionEngine(build_study_ruleset(prefilter="regex"))
+        serial.scan(study.store)
+        parallel = DetectionEngine(
+            build_study_ruleset(prefilter="regex"), workers=4
+        )
+        parallel.scan(study.store)
+        merged = parallel.stats.telemetry
+        assert merged.sessions == serial.stats.telemetry.sessions
+        assert merged.payload_bytes == serial.stats.telemetry.payload_bytes
+        # Chunking splits the payload universe, so per-chunk memos can
+        # resolve the same payload twice — never fewer times than serial.
+        assert (
+            merged.match_cache_misses
+            >= serial.stats.telemetry.match_cache_misses
+        )
+
+    def test_merge_sums_counters(self):
+        a = ScanTelemetry(sessions=2, payload_bytes=10, match_cache_hits=1)
+        b = ScanTelemetry(
+            sessions=3,
+            payload_bytes=5,
+            match_cache_hits=2,
+            pcre_cache=(1, 2, 64, 2),
+        )
+        a.merge(b)
+        assert a.sessions == 5
+        assert a.payload_bytes == 15
+        assert a.match_cache_hits == 3
+        assert a.pcre_cache == (1, 2, 64, 2)
+
+    def test_as_dict_is_json_shaped(self):
+        record = ScanTelemetry(engine="regex", sessions=4).as_dict()
+        assert record["engine"] == "regex"
+        assert record["sessions"] == 4
+        for key in (
+            "payload_bytes",
+            "prefilter_hits",
+            "prefilter_hit_ratio",
+            "candidates_nominated",
+            "candidates_evaluated",
+            "match_cache_hits",
+            "match_cache_misses",
+            "match_cache_hit_ratio",
+            "prefilter_seconds",
+            "eval_seconds",
+            "scan_seconds",
+            "pcre_cache",
+        ):
+            assert key in record
+
+
+class TestEngineSelection:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(PREFILTER_ENV, "aho")
+        assert Ruleset(prefilter="regex").prefilter_engine == "regex"
+
+    def test_environment_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(PREFILTER_ENV, "aho")
+        assert Ruleset().prefilter_engine == "aho"
+        monkeypatch.setenv(PREFILTER_ENV, "REGEX")  # case-insensitive
+        assert Ruleset().prefilter_engine == "regex"
+
+    def test_default_is_regex(self, monkeypatch):
+        monkeypatch.delenv(PREFILTER_ENV, raising=False)
+        assert Ruleset().prefilter_engine == "regex"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            Ruleset(prefilter="hyperscan")
+        monkeypatch.setenv(PREFILTER_ENV, "bogus")
+        with pytest.raises(ValueError):
+            Ruleset()
+
+    def test_build_study_ruleset_passthrough(self):
+        assert build_study_ruleset(prefilter="aho").prefilter_engine == "aho"
+        assert (
+            build_study_ruleset(prefilter="regex").prefilter_engine == "regex"
+        )
+
+
+class TestPortSensitivePath:
+    def _ruleset(self, prefilter):
+        ruleset = Ruleset(port_insensitive=False, prefilter=prefilter)
+        ruleset.add(
+            parse_rule(
+                'alert tcp any any -> any 80 '
+                '(msg:"http only"; content:"attack"; sid:1;)'
+            ),
+            T0,
+        )
+        return ruleset
+
+    def test_match_payloads_requires_port_insensitive(self):
+        with pytest.raises(ValueError):
+            self._ruleset("regex").match_payloads([b"attack"])
+
+    def test_port_sensitive_scan_respects_ports(self):
+        sessions = [
+            _session(1, b"an attack here", dst_port=80),
+            _session(2, b"an attack here", dst_port=443),  # same payload!
+            _session(3, b"benign", dst_port=80),
+        ]
+        reference = DetectionEngine(self._ruleset("aho"))
+        regex = DetectionEngine(self._ruleset("regex"))
+        reference_alerts = reference.scan(sessions)
+        assert [a.session_id for a in reference_alerts] == [1]
+        assert regex.scan(sessions) == reference_alerts
+        assert regex.stats == reference.stats
+        # Port-sensitive memo keys include the port pair: two sessions with
+        # identical payloads but different ports are distinct cache entries.
+        assert regex.stats.telemetry.match_cache_misses == 3
+
+
+class TestSessionBufferCaching:
+    def test_absent_buffers_parse_once(self, monkeypatch):
+        calls = []
+        real = matcher.split_http_head
+
+        def counting(payload):
+            calls.append(payload)
+            return real(payload)
+
+        monkeypatch.setattr(matcher, "split_http_head", counting)
+        buffers = SessionBuffers(b"\x00\x01 not http at all")
+        for _ in range(3):
+            assert buffers.lowered(HttpBuffer.HTTP_URI) is None
+            assert buffers.get(HttpBuffer.HTTP_HEADER) is None
+            assert buffers.get(HttpBuffer.HTTP_COOKIE) is None
+        assert len(calls) == 1
+
+    def test_header_parse_deferred_until_needed(self, monkeypatch):
+        parses = []
+        real = matcher.parse_http_headers
+
+        def counting(lines):
+            parses.append(lines)
+            return real(lines)
+
+        monkeypatch.setattr(matcher, "parse_http_headers", counting)
+        buffers = SessionBuffers(
+            b"GET /x HTTP/1.1\r\nHost: a\r\nCookie: c=1\r\n\r\nbody"
+        )
+        assert buffers.get(HttpBuffer.HTTP_URI) == b"/x"
+        assert buffers.get(HttpBuffer.HTTP_METHOD) == b"GET"
+        assert buffers.get(HttpBuffer.HTTP_CLIENT_BODY) == b"body"
+        assert parses == []  # request-line buffers never parse headers
+        assert buffers.get(HttpBuffer.HTTP_HEADER) == b"Host: a"
+        assert buffers.get(HttpBuffer.HTTP_COOKIE) == b"c=1"
+        assert len(parses) == 1
+
+    def test_pcre_cache_covers_full_ruleset(self):
+        assert matcher._compiled.cache_info().maxsize == PCRE_CACHE_SIZE
+        assert PCRE_CACHE_SIZE >= 100 * len(build_study_ruleset())
