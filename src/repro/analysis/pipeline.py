@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.cache import CacheTelemetry, StudyCache
+    from repro.cache import CacheTelemetry, CheckpointStore, StudyCache
 
 from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_datasets
 from repro.exploits.rulegen import build_study_ruleset
@@ -38,7 +38,7 @@ from repro.lifecycle.exploit_events import (
 )
 from repro.lifecycle.rca import RcaDecision, RootCauseAnalysis
 from repro.net.pcapstore import SessionStore
-from repro.nids.engine import DetectionEngine
+from repro.nids.engine import DetectionEngine, ScanTelemetry
 from repro.nids.ruleset import Alert, Ruleset
 from repro.telescope.collector import CollectionStats, DscopeCollector
 from repro.telescope.config import TelescopeConfig
@@ -119,6 +119,15 @@ class StudyResult:
     #: hits, misses, evictions, integrity failures, bytes moved.  None when
     #: the run was uncached.
     cache_telemetry: Optional["CacheTelemetry"] = None
+    #: Telemetry from the NIDS scan this run actually performed, recovery
+    #: counters (retries, pool respawns, poison chunks, checkpoint hits)
+    #: included.  None when the scan itself was skipped — served from the
+    #: study cache or from an ``alerts`` stage checkpoint.
+    scan_telemetry: Optional[ScanTelemetry] = None
+    #: Heavy stages served from crash checkpoints left by an earlier,
+    #: killed run (subset of ``["arrivals", "store", "alerts"]``, in
+    #: pipeline order).  Empty for clean runs and cache hits.
+    checkpoint_stages: List[str] = field(default_factory=list)
 
     @property
     def kept_cves(self) -> List[str]:
@@ -156,10 +165,35 @@ def _resolve_cache(cache: "CacheLike") -> Optional["StudyCache"]:
 
 
 CacheLike = Union[None, bool, str, Path, "StudyCache"]
+CheckpointLike = Union[None, bool, str, Path, "CheckpointStore"]
+
+
+def _resolve_checkpoints(
+    checkpoints: CheckpointLike, study_cache: Optional["StudyCache"]
+) -> Optional["CheckpointStore"]:
+    """Normalise the ``checkpoints`` argument of :func:`run_study`."""
+    if checkpoints is False:
+        return None
+    from repro.cache import CheckpointStore
+
+    if checkpoints is None:
+        # Default: checkpoint wherever the study cache lives, so a killed
+        # cached run resumes; uncached runs stay checkpoint-free.
+        if study_cache is None:
+            return None
+        return CheckpointStore(root=study_cache.root)
+    if checkpoints is True:
+        return CheckpointStore()
+    if isinstance(checkpoints, (str, Path)):
+        return CheckpointStore(root=checkpoints)
+    return checkpoints
 
 
 def run_study(
-    config: Optional[StudyConfig] = None, *, cache: CacheLike = None
+    config: Optional[StudyConfig] = None,
+    *,
+    cache: CacheLike = None,
+    checkpoints: CheckpointLike = None,
 ) -> StudyResult:
     """Run the complete pipeline and return its result.
 
@@ -168,9 +202,25 @@ def run_study(
     On a hit, traffic generation, telescope capture, and the NIDS scan are
     skipped entirely and their outputs are loaded from disk; the (cheap)
     analysis stages always run.
+
+    ``checkpoints`` controls crash recovery for the heavy stages.  By
+    default it follows the cache (checkpoints live under the same root);
+    pass True / a root path / a :class:`repro.cache.CheckpointStore` to
+    checkpoint an uncached run, or False to disable.  A run killed mid-way
+    leaves its finished stages — the arrival stream, the captured store,
+    per-chunk scan results, the final alert list — on disk under the
+    study's content key; rerunning the same configuration resumes from
+    them, rescanning only what never completed.  Checkpoints are deleted
+    as soon as the run succeeds (its results then live in the study cache).
     """
     config = config or StudyConfig()
     study_cache = _resolve_cache(cache)
+    checkpoint_store = _resolve_checkpoints(checkpoints, study_cache)
+    study_key = None
+    if checkpoint_store is not None:
+        from repro.cache import study_key as compute_study_key
+
+        study_key = compute_study_key(config)
     bundle = build_datasets(
         seed=config.seed,
         background_count=config.background_nvd_count,
@@ -178,6 +228,8 @@ def run_study(
     )
     ruleset = build_study_ruleset(rule_delay=config.rule_delay)
 
+    checkpoint_stages: List[str] = []
+    scan_telemetry: Optional[ScanTelemetry] = None
     cached = study_cache.load(config) if study_cache is not None else None
     if cached is not None:
         store = cached.store
@@ -185,30 +237,86 @@ def run_study(
         collection_stats = cached.collection_stats
         ground_truth = cached.ground_truth
         from_cache = True
+        if checkpoint_store is not None:
+            # Any checkpoints for this key are leftovers from a run that
+            # (evidently) completed elsewhere; drop them.
+            checkpoint_store.delete(study_key)
     else:
-        generator = TrafficGenerator(
-            TrafficConfig(
-                seed=config.seed,
-                volume_scale=config.volume_scale,
-                background_per_exploit=config.background_per_exploit,
-            ),
-            window=bundle.window,
+        from repro.cache.checkpoint import (
+            decode_stage_alerts,
+            decode_stage_arrivals,
+            decode_stage_store,
+            encode_stage_alerts,
+            encode_stage_arrivals,
+            encode_stage_store,
         )
-        arrivals = generator.generate(workers=config.workers)
 
-        collector = DscopeCollector(
-            TelescopeConfig(
-                concurrent_instances=config.telescope_instances,
-                seed=config.seed,
-            ),
-            window=bundle.window,
-        )
-        store = collector.collect(arrivals)
+        arrivals = None
+        if checkpoint_store is not None:
+            payload = checkpoint_store.load(study_key, "arrivals")
+            if payload is not None:
+                arrivals = decode_stage_arrivals(payload)
+                checkpoint_stages.append("arrivals")
+        if arrivals is None:
+            generator = TrafficGenerator(
+                TrafficConfig(
+                    seed=config.seed,
+                    volume_scale=config.volume_scale,
+                    background_per_exploit=config.background_per_exploit,
+                ),
+                window=bundle.window,
+            )
+            arrivals = generator.generate(workers=config.workers)
+            if checkpoint_store is not None:
+                checkpoint_store.save(
+                    study_key, "arrivals", encode_stage_arrivals(arrivals)
+                )
 
-        engine = DetectionEngine(ruleset, workers=config.workers)
-        alerts = engine.scan(store)
-        collection_stats = collector.stats
-        ground_truth = collector.ground_truth
+        captured = None
+        if checkpoint_store is not None:
+            payload = checkpoint_store.load(study_key, "store")
+            if payload is not None:
+                captured = decode_stage_store(payload)
+                checkpoint_stages.append("store")
+        if captured is not None:
+            store, collection_stats, ground_truth = captured
+        else:
+            collector = DscopeCollector(
+                TelescopeConfig(
+                    concurrent_instances=config.telescope_instances,
+                    seed=config.seed,
+                ),
+                window=bundle.window,
+            )
+            store = collector.collect(arrivals)
+            collection_stats = collector.stats
+            ground_truth = collector.ground_truth
+            if checkpoint_store is not None:
+                checkpoint_store.save(
+                    study_key,
+                    "store",
+                    encode_stage_store(store, collection_stats, ground_truth),
+                )
+
+        alerts = None
+        if checkpoint_store is not None:
+            payload = checkpoint_store.load(study_key, "alerts")
+            if payload is not None:
+                alerts = decode_stage_alerts(payload)
+                checkpoint_stages.append("alerts")
+        if alerts is None:
+            engine = DetectionEngine(
+                ruleset,
+                workers=config.workers,
+                checkpoint_store=checkpoint_store,
+                checkpoint_key=study_key,
+            )
+            alerts = engine.scan(store)
+            scan_telemetry = engine.stats.telemetry
+            if checkpoint_store is not None:
+                checkpoint_store.save(
+                    study_key, "alerts", encode_stage_alerts(alerts)
+                )
         from_cache = False
         if study_cache is not None:
             study_cache.save(
@@ -219,6 +327,10 @@ def run_study(
                 collection_stats=collection_stats,
                 ground_truth=ground_truth,
             )
+        if checkpoint_store is not None:
+            # The run completed: its outputs are in the study cache (or the
+            # caller's hands); recovery state has served its purpose.
+            checkpoint_store.delete(study_key)
 
     events = events_from_alerts(alerts)
     grouped = events_by_cve(events)
@@ -244,4 +356,6 @@ def run_study(
         cache_telemetry=(
             study_cache.telemetry if study_cache is not None else None
         ),
+        scan_telemetry=scan_telemetry,
+        checkpoint_stages=checkpoint_stages,
     )

@@ -10,9 +10,16 @@ Layering:
   publish protocol, verified loads, telemetry;
 * :mod:`repro.cache.integrity` — per-file checksums and entry verification;
 * :mod:`repro.cache.gc` — staging-dir cleanup and age/size-bounded eviction;
-* :mod:`repro.cache.fingerprint` — code fingerprinting for invalidation.
+* :mod:`repro.cache.fingerprint` — code fingerprinting for invalidation;
+* :mod:`repro.cache.checkpoint` — crash-recovery checkpoints for partial
+  runs (same keys and publish discipline, different lifecycle).
 """
 
+from repro.cache.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    CheckpointTelemetry,
+)
 from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint, digest_file
 from repro.cache.gc import GcReport, collect_garbage
 from repro.cache.integrity import EntryReport, is_complete_entry, verify_entry
@@ -28,8 +35,11 @@ from repro.cache.study import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CHECKPOINT_SCHEMA",
     "CachedStudy",
     "CacheTelemetry",
+    "CheckpointStore",
+    "CheckpointTelemetry",
     "EntryReport",
     "GcReport",
     "STAGE_MODULES",

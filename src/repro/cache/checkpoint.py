@@ -1,0 +1,336 @@
+"""Crash-recovery checkpoints for in-flight pipeline work.
+
+The study cache (:mod:`repro.cache.study`) persists *finished* runs; this
+module persists *partial* ones.  A long scan that dies mid-way — worker
+OOM, machine reboot, a ctrl-C — leaves behind per-chunk and per-stage
+checkpoints keyed by the same content hash as the study cache, so the next
+invocation of the same configuration recomputes only what is missing.
+
+Layout and protocol:
+
+* blobs live under ``<cache root>/checkpoints/<key>/<name>.json.gz`` —
+  one gzip JSON file per blob, published with an atomic ``os.replace`` from
+  a ``.tmp<pid>`` sibling, so a blob is either absent or complete (the same
+  staging/publish discipline as the study cache, collapsed to one file);
+* every blob is an envelope ``{"schema", "digest", "payload"}`` where
+  ``digest`` is the BLAKE2b hash of the canonical JSON encoding of
+  ``payload`` — :meth:`CheckpointStore.load` re-derives it and treats any
+  mismatch (bit rot, truncation, schema drift) as a miss, deleting the
+  corrupt blob so the recompute can republish;
+* checkpoints are *recovery state, not a cache*: the pipeline deletes a
+  key's directory the moment the run it protected completes (its results
+  then live in the study cache), and :meth:`CheckpointStore.gc` reaps
+  directories that outlive ``max_age`` plus orphaned staging files.
+
+Payloads must be JSON-native (dicts, lists, strings, numbers): the digest
+is computed over ``json.dumps(payload, sort_keys=True)``, so any value that
+does not round-trip through JSON would self-invalidate on load.
+
+The stage codecs at the bottom translate the pipeline's heavy intermediates
+(arrival stream, session store + collection stats, alert list) to and from
+such payloads, reusing the study cache's record encoders so the two stores
+can never disagree about on-disk semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass
+from datetime import timedelta
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Bump when the blob envelope layout changes.
+CHECKPOINT_SCHEMA = 1
+
+_STAGING_RE = re.compile(r"\.tmp\d+$")
+
+
+def _digest_payload(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(canonical, digest_size=16).hexdigest()
+
+
+@dataclass
+class CheckpointTelemetry:
+    """Counters for one :class:`CheckpointStore` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    integrity_failures: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class CheckpointStore:
+    """Atomic, digest-verified blob store for partial pipeline results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        from repro.cache.study import default_cache_root
+
+        self.root = Path(root).expanduser() if root else default_cache_root()
+        self.telemetry = CheckpointTelemetry()
+
+    @property
+    def checkpoint_root(self) -> Path:
+        return self.root / "checkpoints"
+
+    def dir_for(self, key: str) -> Path:
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"invalid checkpoint key: {key!r}")
+        return self.checkpoint_root / key
+
+    def _blob_path(self, key: str, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid checkpoint blob name: {name!r}")
+        return self.dir_for(key) / f"{name}.json.gz"
+
+    # -- blob lifecycle ------------------------------------------------------
+
+    def save(self, key: str, name: str, payload) -> Path:
+        """Persist one blob atomically; returns its path.
+
+        The envelope (schema + payload digest) is staged in a ``.tmp<pid>``
+        sibling and published with one ``os.replace``, so a reader can never
+        observe a torn blob — only the previous one or the new one.
+        """
+        path = self._blob_path(key, name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        envelope = {
+            "schema": CHECKPOINT_SCHEMA,
+            "digest": _digest_payload(payload),
+            "created": time.time(),
+            "payload": payload,
+        }
+        try:
+            with gzip.open(staging, "wt", encoding="ascii", compresslevel=1) as handle:
+                json.dump(envelope, handle)
+            os.replace(staging, path)
+        except BaseException:
+            staging.unlink(missing_ok=True)
+            raise
+        self.telemetry.saves += 1
+        self.telemetry.bytes_written += path.stat().st_size
+        return path
+
+    def load(self, key: str, name: str):
+        """The blob's payload, or None.
+
+        A missing blob is a plain miss; an unreadable envelope, a schema
+        mismatch, or a digest mismatch counts an integrity failure, deletes
+        the blob, and is reported as a miss so the caller recomputes.
+        """
+        path = self._blob_path(key, name)
+        try:
+            raw_size = path.stat().st_size
+            with gzip.open(path, "rt", encoding="ascii") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.telemetry.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != CHECKPOINT_SCHEMA
+            or "payload" not in envelope
+            or envelope.get("digest") != _digest_payload(envelope["payload"])
+        ):
+            self._invalidate(path)
+            return None
+        self.telemetry.hits += 1
+        self.telemetry.bytes_read += raw_size
+        return envelope["payload"]
+
+    def _invalidate(self, path: Path) -> None:
+        self.telemetry.integrity_failures += 1
+        self.telemetry.misses += 1
+        path.unlink(missing_ok=True)
+
+    def has(self, key: str, name: str) -> bool:
+        return self._blob_path(key, name).exists()
+
+    def names(self, key: str) -> List[str]:
+        """Blob names present under a key (sorted; staging files excluded)."""
+        directory = self.dir_for(key)
+        if not directory.is_dir():
+            return []
+        return sorted(
+            child.name[: -len(".json.gz")]
+            for child in directory.iterdir()
+            if child.name.endswith(".json.gz")
+            and not _STAGING_RE.search(child.name)
+        )
+
+    def delete(self, key: str) -> bool:
+        """Drop one key's entire checkpoint directory; True if it existed."""
+        directory = self.dir_for(key)
+        existed = directory.exists()
+        if existed:
+            shutil.rmtree(directory, ignore_errors=True)
+            self.telemetry.deletes += 1
+        return existed
+
+    # -- population / lifecycle ---------------------------------------------
+
+    def keys(self) -> List[str]:
+        if not self.checkpoint_root.is_dir():
+            return []
+        return sorted(
+            child.name
+            for child in self.checkpoint_root.iterdir()
+            if child.is_dir()
+        )
+
+    def _key_info(self, key: str) -> Dict[str, object]:
+        directory = self.checkpoint_root / key
+        blobs = 0
+        chunks = 0
+        total = 0
+        newest = 0.0
+        for child in directory.iterdir():
+            if not child.is_file() or _STAGING_RE.search(child.name):
+                continue
+            blobs += 1
+            if child.name.startswith("chunk-"):
+                chunks += 1
+            try:
+                stat = child.stat()
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            total += stat.st_size
+            newest = max(newest, stat.st_mtime)
+        return {
+            "key": key,
+            "blobs": blobs,
+            "chunks": chunks,
+            "bytes": total,
+            "newest": newest,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the on-disk population plus this instance's counters."""
+        keys = [self._key_info(key) for key in self.keys()]
+        return {
+            "root": str(self.root),
+            "keys": keys,
+            "key_count": len(keys),
+            "total_bytes": sum(int(info["bytes"]) for info in keys),
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+    def gc(
+        self,
+        *,
+        max_age: Optional[timedelta] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Remove stale checkpoint state; returns directories removed.
+
+        Always deletes orphaned ``.tmp<pid>`` staging files; with
+        ``max_age``, additionally removes key directories whose newest blob
+        is older than the bound (an abandoned run nobody resumed).
+        """
+        if not self.checkpoint_root.is_dir():
+            return 0
+        now = time.time() if now is None else now
+        removed = 0
+        for key in self.keys():
+            directory = self.checkpoint_root / key
+            for child in directory.iterdir():
+                if child.is_file() and _STAGING_RE.search(child.name):
+                    child.unlink(missing_ok=True)
+            info = self._key_info(key)
+            empty = info["blobs"] == 0
+            expired = (
+                max_age is not None
+                and now - float(info["newest"]) > max_age.total_seconds()
+            )
+            if empty or expired:
+                shutil.rmtree(directory, ignore_errors=True)
+                self.telemetry.deletes += 1
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Drop every checkpoint directory; returns how many were removed."""
+        keys = self.keys()
+        for key in keys:
+            shutil.rmtree(self.checkpoint_root / key, ignore_errors=True)
+        self.telemetry.deletes += len(keys)
+        return len(keys)
+
+
+# -- pipeline stage codecs ---------------------------------------------------
+#
+# The heavy stages checkpoint their outputs as JSON-native payloads through
+# the study cache's record encoders, so a stage checkpoint and a published
+# cache entry are byte-compatible views of the same records.
+
+
+def encode_stage_arrivals(arrivals) -> Dict[str, object]:
+    from repro.cache.study import _encode_arrival
+
+    return {"records": [_encode_arrival(arrival) for arrival in arrivals]}
+
+
+def decode_stage_arrivals(payload) -> List["ScanArrival"]:
+    from repro.cache.study import _decode_arrival
+
+    return [_decode_arrival(record) for record in payload["records"]]
+
+
+def encode_stage_store(store, collection_stats, ground_truth) -> Dict[str, object]:
+    from repro.cache.study import _encode_stats
+    from repro.net.pcapstore import encode_session
+
+    return {
+        "sessions": [encode_session(session) for session in store],
+        "stats": _encode_stats(collection_stats),
+        "ground_truth": {
+            str(session_id): truth
+            for session_id, truth in ground_truth.items()
+        },
+    }
+
+
+def decode_stage_store(
+    payload,
+) -> Tuple["SessionStore", "CollectionStats", Dict[int, Optional[str]]]:
+    from repro.cache.study import _decode_stats
+    from repro.net.pcapstore import SessionStore, decode_session
+
+    store = SessionStore()
+    store.extend(decode_session(record) for record in payload["sessions"])
+    stats = _decode_stats(payload["stats"])
+    ground_truth = {
+        int(session_id): truth
+        for session_id, truth in payload["ground_truth"].items()
+    }
+    return store, stats, ground_truth
+
+
+def encode_stage_alerts(alerts) -> Dict[str, object]:
+    from repro.cache.study import _encode_alert
+
+    return {"records": [_encode_alert(alert) for alert in alerts]}
+
+
+def decode_stage_alerts(payload) -> List["Alert"]:
+    from repro.cache.study import _decode_alert
+
+    return [_decode_alert(record) for record in payload["records"]]

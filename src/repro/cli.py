@@ -10,7 +10,8 @@ Subcommands::
     repro rules       dump the generated Snort ruleset text
     repro seeds       print the encoded Appendix E seed table
     repro baselines   paper baselines vs exactly computed Markov baselines
-    repro cache       study-cache maintenance (stats / verify / gc / clear)
+    repro cache       study-cache maintenance (stats / verify / gc / clear /
+                      checkpoints)
 
 Every subcommand is deterministic for a given ``--seed``.
 """
@@ -20,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -351,6 +353,48 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_checkpoints(args: argparse.Namespace) -> int:
+    from datetime import timedelta
+
+    from repro.cache import CheckpointStore
+
+    store = CheckpointStore(root=args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} checkpoint "
+              f"{'key' if removed == 1 else 'keys'} "
+              f"from {store.checkpoint_root}")
+        return 0
+    if args.max_age_days is not None:
+        removed = store.gc(max_age=timedelta(days=args.max_age_days))
+        print(f"gc removed {removed} checkpoint "
+              f"{'key' if removed == 1 else 'keys'}")
+    snapshot = store.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"checkpoint root: {store.checkpoint_root}")
+    print(f"keys: {snapshot['key_count']} "
+          f"({_format_bytes(snapshot['total_bytes'])})")
+    if snapshot["keys"]:
+        now = time.time()
+        rows = []
+        for info in snapshot["keys"]:
+            age_hours = max(0.0, now - float(info["newest"])) / 3600
+            rows.append([
+                str(info["key"])[:24],
+                info["blobs"],
+                info["chunks"],
+                _format_bytes(int(info["bytes"])),
+                f"{age_hours:.1f}h",
+            ])
+        print()
+        print(render_table(
+            ["key", "blobs", "chunks", "size", "age"], rows
+        ))
+    return 0
+
+
 def _add_cache_commands(subparsers) -> None:
     cache_parser = subparsers.add_parser(
         "cache", help="study-cache maintenance"
@@ -407,6 +451,24 @@ def _add_cache_commands(subparsers) -> None:
     )
     _common(clear_parser)
     clear_parser.set_defaults(func=_cmd_cache_clear)
+
+    checkpoints_parser = cache_subparsers.add_parser(
+        "checkpoints",
+        help="list, gc, or clear crash-recovery checkpoints",
+    )
+    _common(checkpoints_parser)
+    checkpoints_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    checkpoints_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="gc checkpoint keys whose newest blob is older than DAYS",
+    )
+    checkpoints_parser.add_argument(
+        "--clear", action="store_true",
+        help="drop every checkpoint key",
+    )
+    checkpoints_parser.set_defaults(func=_cmd_cache_checkpoints)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -52,6 +52,17 @@ class ScanTelemetry:
     prefilter_seconds: float = 0.0
     eval_seconds: float = 0.0
     scan_seconds: float = 0.0
+    #: Recovery counters, populated only by the fault-tolerant parallel
+    #: path (:func:`repro.nids.parallel.parallel_scan`): chunk submissions
+    #: that were retries, pool generations lost to worker death, chunks
+    #: that failed at least once but were recovered in the pool, chunks
+    #: that fell back to the in-process serial scan, and chunks served
+    #: from the on-disk checkpoint store instead of being rescanned.
+    chunk_retries: int = 0
+    pool_respawns: int = 0
+    recovered_chunks: int = 0
+    poison_chunks: int = 0
+    checkpoint_hits: int = 0
     #: Snapshot of the pcre compile cache (hits, misses, maxsize, currsize)
     #: taken when the scan finishes — eviction churn shows up as misses
     #: exceeding the distinct-pattern count.
@@ -83,6 +94,11 @@ class ScanTelemetry:
         self.prefilter_seconds += other.prefilter_seconds
         self.eval_seconds += other.eval_seconds
         self.scan_seconds += other.scan_seconds
+        self.chunk_retries += other.chunk_retries
+        self.pool_respawns += other.pool_respawns
+        self.recovered_chunks += other.recovered_chunks
+        self.poison_chunks += other.poison_chunks
+        self.checkpoint_hits += other.checkpoint_hits
         if other.pcre_cache is not None:
             self.pcre_cache = other.pcre_cache
 
@@ -106,8 +122,46 @@ class ScanTelemetry:
             "prefilter_seconds": self.prefilter_seconds,
             "eval_seconds": self.eval_seconds,
             "scan_seconds": self.scan_seconds,
+            "chunk_retries": self.chunk_retries,
+            "pool_respawns": self.pool_respawns,
+            "recovered_chunks": self.recovered_chunks,
+            "poison_chunks": self.poison_chunks,
+            "checkpoint_hits": self.checkpoint_hits,
             "pcre_cache": self.pcre_cache,
         }
+
+    #: Counter fields restored by :meth:`from_dict` (derived ratios and the
+    #: engine label are handled separately).
+    _COUNTER_FIELDS = (
+        "sessions",
+        "payload_bytes",
+        "prefilter_hits",
+        "candidates_nominated",
+        "candidates_evaluated",
+        "match_cache_hits",
+        "match_cache_misses",
+        "prefilter_seconds",
+        "eval_seconds",
+        "scan_seconds",
+        "chunk_retries",
+        "pool_respawns",
+        "recovered_chunks",
+        "poison_chunks",
+        "checkpoint_hits",
+    )
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ScanTelemetry":
+        """Rebuild a telemetry from :meth:`as_dict` output (checkpoints)."""
+        telemetry = cls(engine=str(record.get("engine", "regex")))
+        for name in cls._COUNTER_FIELDS:
+            value = record.get(name)
+            if value is not None:
+                setattr(telemetry, name, value)
+        pcre = record.get("pcre_cache")
+        if pcre is not None:
+            telemetry.pcre_cache = tuple(pcre)  # type: ignore[assignment]
+        return telemetry
 
 
 @dataclass
@@ -248,6 +302,12 @@ class DetectionEngine:
     N > 1 scans in N worker processes with identical results.
     ``chunk_size`` overrides the per-task partition size for parallel scans
     (defaults to an even split across the pool).
+
+    ``checkpoint_store`` (a :class:`repro.cache.CheckpointStore`) together
+    with ``checkpoint_key`` enables per-chunk crash checkpoints on the
+    parallel path: completed chunks spill to disk as they finish, and a
+    killed scan rescans only the missing chunks on the next run.  The
+    caller owns deleting the checkpoints once the surrounding run succeeds.
     """
 
     def __init__(
@@ -256,12 +316,16 @@ class DetectionEngine:
         *,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        checkpoint_store=None,
+        checkpoint_key: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.ruleset = ruleset
         self.workers = workers
         self.chunk_size = chunk_size
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_key = checkpoint_key
         self.stats = DetectionStats(
             telemetry=ScanTelemetry(engine=ruleset.prefilter_engine)
         )
@@ -277,6 +341,8 @@ class DetectionEngine:
             sessions,
             workers=self.workers,
             chunk_size=self.chunk_size,
+            checkpoint_store=self.checkpoint_store,
+            checkpoint_key=self.checkpoint_key,
         )
         # Re-derive the counters from the merged alert stream so the stats
         # (including alerts_by_sid insertion order) match a serial pass.

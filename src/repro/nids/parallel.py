@@ -1,4 +1,4 @@
-"""Multiprocess post-facto scanning.
+"""Multiprocess post-facto scanning with crash recovery and checkpoints.
 
 The study's NIDS pass is embarrassingly parallel: each stored session is
 matched against the ruleset independently, and the per-session results are
@@ -18,34 +18,181 @@ optimisations keep the parallel path worthwhile:
   never per chunk) and chunks ship as session lists;
 * alerts return as plain tuples, which pickle several times faster than
   dataclass instances, and are rebuilt in the parent.
+
+Fault tolerance (the recovery protocol):
+
+* chunks are submitted as individual futures, so one chunk's outcome never
+  implicates another's.  A chunk-level exception marks only that chunk
+  failed; a worker *death* (OOM kill, segfault, ``os._exit``) breaks the
+  whole pool, which is respawned — bounded by :data:`MAX_POOL_RESPAWNS`,
+  with exponential backoff — and only the still-unfinished chunks are
+  resubmitted;
+* a chunk that fails :data:`MAX_CHUNK_ATTEMPTS` times is a **poison
+  chunk**: it is taken out of the pool entirely and scanned serially
+  in-process, so the merged output stays byte-identical to a serial scan
+  no matter how the pool misbehaves;
+* with a checkpoint store attached, every completed chunk spills its result
+  to disk (:mod:`repro.cache.checkpoint`); a killed process rescans only
+  the chunks that never checkpointed on its next run.
+
+Recovery work is counted on the returned :class:`ScanTelemetry`
+(``chunk_retries``, ``pool_respawns``, ``recovered_chunks``,
+``poison_chunks``, ``checkpoint_hits``).
+
+Deterministic fault injection makes all of this testable without real OOMs:
+``REPRO_FAULT=worker_crash:<chunk>[:<times>]`` kills the worker scanning
+that chunk on its first ``times`` attempts, ``chunk_error:<chunk>[:<times>]``
+raises inside it instead, and ``scan_abort:<n>`` aborts the *parent* after
+``n`` chunks have completed (simulating a killed run whose checkpoints
+survive).  Tests can also install an in-process callable via
+:data:`_fault_hook`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from datetime import datetime
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.net.pcapstore import _TIME_FORMAT
 from repro.net.session import TcpSession
 from repro.nids.ruleset import Alert, Ruleset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.checkpoint import CheckpointStore
+    from repro.nids.engine import ScanTelemetry
 
 #: Chunks handed to the pool per worker: >1 so a slow chunk (one dense with
 #: candidate-heavy payloads) does not leave the other workers idle at the
 #: end of the scan.
 CHUNKS_PER_WORKER = 4
 
+#: Pool attempts per chunk before it is declared poison and scanned
+#: serially in-process.
+MAX_CHUNK_ATTEMPTS = 2
+
+#: Pool generations (original + respawns) before the remaining chunks all
+#: fall back to the in-process serial scan.
+MAX_POOL_RESPAWNS = 3
+
+#: Exponential backoff between pool respawns: base * 2**(respawn-1),
+#: capped.  ``REPRO_RETRY_BACKOFF`` overrides the base (tests set it to 0).
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_MAX_SECONDS = 2.0
+
+#: How long the parent waits for every worker to fork and reach the warm-up
+#: barrier before declaring the pool broken.
+WARMUP_TIMEOUT_SECONDS = 60.0
+
 _worker_ruleset: Optional[Ruleset] = None
 #: (ruleset, sessions) pinned for fork-inherited workers.  Module-global by
 #: necessity — forked children read it from their memory snapshot — so
-#: :data:`_fork_lock` serialises the pin → fork → scan → unpin section:
-#: without it, two ``DetectionEngine.scan`` calls overlapping from threads
-#: could fork workers that see the *other* scan's session list.
+#: :data:`_fork_lock` serialises the pin → fork window: without it, two
+#: ``DetectionEngine.scan`` calls overlapping from threads could fork
+#: workers that see the *other* scan's session list.  The lock is released
+#: (and the pin dropped) as soon as every worker has forked — the executor
+#: never forks again for a pool once all ``max_workers`` processes exist —
+#: so concurrent scans overlap for the whole scan, not just the fork window.
 _fork_state: Optional[Tuple[Ruleset, List[TcpSession]]] = None
+_fork_barrier = None
 _fork_lock = threading.Lock()
 
+#: Test hook: called in the parent immediately after the fork window closes
+#: (workers forked, pin dropped, lock released) and before any chunk is
+#: scanned.  Lets tests assert that two threaded scans genuinely overlap.
+_after_fork_hook: Optional[Callable[[], None]] = None
+
+#: Fault-injection hook: called in each worker as ``hook(chunk_index,
+#: attempt)`` before the chunk is scanned; it may raise or ``os._exit``.
+#: When None, ``REPRO_FAULT`` (see :func:`parse_fault`) is consulted
+#: instead.  Inherited by forked workers like the rest of module state.
+_fault_hook: Optional[Callable[[int, int], None]] = None
+
 AlertTuple = tuple
+
+
+class InjectedFault(RuntimeError):
+    """A chunk-level failure raised by the fault-injection hook."""
+
+
+class ScanAborted(RuntimeError):
+    """The parent-side ``scan_abort`` fault fired (simulated kill)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``REPRO_FAULT`` directive."""
+
+    kind: str  #: ``worker_crash`` | ``chunk_error`` | ``scan_abort``
+    target: int  #: chunk index (crash/error) or completed-chunk count (abort)
+    times: int = 1  #: how many attempts the fault fires on (crash/error)
+
+
+def parse_fault(text: Optional[str]) -> Optional[FaultSpec]:
+    """Parse ``kind:target[:times]`` fault syntax (None/empty → no fault).
+
+    >>> parse_fault("worker_crash:3")
+    FaultSpec(kind='worker_crash', target=3, times=1)
+    >>> parse_fault("chunk_error:0:2").times
+    2
+    >>> parse_fault(None) is None
+    True
+    """
+    if not text:
+        return None
+    parts = text.split(":")
+    if parts[0] not in ("worker_crash", "chunk_error", "scan_abort"):
+        raise ValueError(f"unknown fault kind in {text!r}")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"malformed fault spec {text!r}")
+    try:
+        target = int(parts[1])
+        times = int(parts[2]) if len(parts) == 3 else 1
+    except ValueError:
+        raise ValueError(f"malformed fault spec {text!r}") from None
+    return FaultSpec(kind=parts[0], target=target, times=times)
+
+
+def _active_fault() -> Optional[FaultSpec]:
+    return parse_fault(os.environ.get("REPRO_FAULT"))
+
+
+def _inject_worker_fault(chunk_index: int, attempt: int) -> None:
+    """Worker-side fault point, reached before a chunk is scanned."""
+    hook = _fault_hook
+    if hook is not None:
+        hook(chunk_index, attempt)
+        return
+    spec = _active_fault()
+    if spec is None or spec.kind == "scan_abort":
+        return
+    if spec.target == chunk_index and attempt <= spec.times:
+        if spec.kind == "worker_crash":
+            # Simulate an OOM kill / segfault: die without cleanup, which
+            # breaks the whole pool, not just this future.
+            os._exit(99)
+        raise InjectedFault(
+            f"injected chunk_error on chunk {chunk_index} attempt {attempt}"
+        )
 
 
 def _encode_alerts(alerts: List[Alert]) -> List[AlertTuple]:
@@ -80,6 +227,39 @@ def _decode_alerts(rows: List[AlertTuple]) -> List[Alert]:
     ]
 
 
+def _rows_to_json(rows: List[AlertTuple]) -> List[list]:
+    """Alert tuples → JSON-native lists (timestamps to strings)."""
+    return [
+        [
+            row[0],
+            row[1].strftime(_TIME_FORMAT),
+            row[2],
+            row[3],
+            row[4].strftime(_TIME_FORMAT),
+            row[5],
+            row[6],
+            row[7],
+        ]
+        for row in rows
+    ]
+
+
+def _rows_from_json(rows: List[list]) -> List[AlertTuple]:
+    return [
+        (
+            row[0],
+            datetime.strptime(row[1], _TIME_FORMAT),
+            row[2],
+            row[3],
+            datetime.strptime(row[4], _TIME_FORMAT),
+            row[5],
+            row[6],
+            row[7],
+        )
+        for row in rows
+    ]
+
+
 def _init_worker(ruleset_blob: bytes) -> None:
     """Spawn-path pool initializer: install this worker's compiled ruleset."""
     global _worker_ruleset
@@ -88,28 +268,44 @@ def _init_worker(ruleset_blob: bytes) -> None:
     _worker_ruleset = ruleset
 
 
+def _warmup() -> None:
+    """Fork-path warm-up task: park this worker on the fork barrier.
+
+    One warm-up task is submitted per pool slot; each blocks its worker
+    until every worker (plus the parent) has arrived, which proves all
+    ``max_workers`` processes forked while the fork state was pinned.
+    """
+    barrier = _fork_barrier
+    if barrier is not None:
+        barrier.wait(WARMUP_TIMEOUT_SECONDS)
+
+
+ChunkResult = Tuple[List[AlertTuple], int, "ScanTelemetry"]
+
+
 def _scan_chunk(
-    sessions: Sequence[TcpSession],
-) -> Tuple[List[AlertTuple], int, "ScanTelemetry"]:
+    task: Tuple[int, int, Sequence[TcpSession]]
+) -> ChunkResult:
     """Spawn path: scan one shipped chunk with the worker-local ruleset."""
     from repro.nids.engine import scan_stream
 
+    chunk_index, attempt, sessions = task
     if _worker_ruleset is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker ruleset not initialised")
+    _inject_worker_fault(chunk_index, attempt)
     alerts, scanned, telemetry = scan_stream(_worker_ruleset, sessions)
     return _encode_alerts(alerts), scanned, telemetry
 
 
-def _scan_range(
-    bounds: Tuple[int, int]
-) -> Tuple[List[AlertTuple], int, "ScanTelemetry"]:
+def _scan_range(task: Tuple[int, int, int, int]) -> ChunkResult:
     """Fork path: scan a slice of the inherited session list."""
     from repro.nids.engine import scan_stream
 
+    chunk_index, attempt, start, stop = task
     if _fork_state is None:  # pragma: no cover - set before the pool forks
         raise RuntimeError("fork state not pinned")
+    _inject_worker_fault(chunk_index, attempt)
     ruleset, sessions = _fork_state
-    start, stop = bounds
     alerts, scanned, telemetry = scan_stream(ruleset, sessions[start:stop])
     return _encode_alerts(alerts), scanned, telemetry
 
@@ -124,26 +320,157 @@ def chunk_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
     ]
 
 
+@contextmanager
+def _forked_pool(
+    ruleset: Ruleset, items: List[TcpSession], max_workers: int
+) -> Iterator[ProcessPoolExecutor]:
+    """A fork-context pool whose workers all inherit ``(ruleset, items)``.
+
+    :data:`_fork_lock` covers only the pin → fork window: the state is
+    pinned, the pool created, and one warm-up task submitted per slot; once
+    every worker has reached the warm-up barrier, all ``max_workers``
+    processes exist (the executor never forks again for this pool), so the
+    pin is dropped and the lock released before any chunk is scheduled.
+    """
+    global _fork_state, _fork_barrier
+    ctx = multiprocessing.get_context("fork")
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        with _fork_lock:
+            _fork_state = (ruleset, items)
+            _fork_barrier = ctx.Barrier(max_workers + 1)
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers, mp_context=ctx
+                )
+                warmups = [pool.submit(_warmup) for _ in range(max_workers)]
+                try:
+                    _fork_barrier.wait(WARMUP_TIMEOUT_SECONDS)
+                except threading.BrokenBarrierError:
+                    raise BrokenProcessPool(
+                        "workers failed to fork within the warm-up window"
+                    ) from None
+                for warmup in warmups:
+                    warmup.result()
+            finally:
+                _fork_state = None
+                _fork_barrier = None
+        hook = _after_fork_hook
+        if hook is not None:
+            hook()
+        yield pool
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+@contextmanager
+def _spawned_pool(
+    ruleset_blob: bytes, max_workers: int
+) -> Iterator[ProcessPoolExecutor]:  # pragma: no cover - spawn-only platforms
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_init_worker,
+        initargs=(ruleset_blob,),
+    )
+    try:
+        yield pool
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _ChunkCheckpoints:
+    """Per-chunk result spill for one scan's chunking.
+
+    Blobs live under the caller's key (so deleting that key reclaims the
+    whole run's recovery state at once) with the exact chunk bounds folded
+    into each blob's name, so results can only ever be reused by a scan
+    that partitions the same stream identically (a different
+    ``workers``/``chunk_size`` simply misses and rescans).
+    """
+
+    def __init__(
+        self,
+        store: "CheckpointStore",
+        key: str,
+        bounds: List[Tuple[int, int]],
+    ) -> None:
+        digest = hashlib.blake2b(repr(bounds).encode("ascii"), digest_size=6)
+        self.store = store
+        self.key = key
+        self.bounds = bounds
+        self._chunking = digest.hexdigest()
+
+    def _name(self, index: int) -> str:
+        return f"chunk-{self._chunking}-{index:05d}"
+
+    def load(self, index: int) -> Optional[ChunkResult]:
+        from repro.nids.engine import ScanTelemetry
+
+        payload = self.store.load(self.key, self._name(index))
+        if payload is None:
+            return None
+        if payload.get("bounds") != list(self.bounds[index]):
+            return None  # pragma: no cover - name folds bounds already
+        return (
+            _rows_from_json(payload["rows"]),
+            payload["scanned"],
+            ScanTelemetry.from_dict(payload["telemetry"]),
+        )
+
+    def save(
+        self, index: int, rows: List[AlertTuple], scanned: int, telemetry
+    ) -> None:
+        self.store.save(
+            self.key,
+            self._name(index),
+            {
+                "bounds": list(self.bounds[index]),
+                "rows": _rows_to_json(rows),
+                "scanned": scanned,
+                "telemetry": telemetry.as_dict(),
+            },
+        )
+
+
+def _backoff_seconds(respawn: int) -> float:
+    base = BACKOFF_BASE_SECONDS
+    env = os.environ.get("REPRO_RETRY_BACKOFF")
+    if env is not None:
+        base = float(env)
+    if base <= 0:
+        return 0.0
+    return min(base * (2 ** (respawn - 1)), BACKOFF_MAX_SECONDS)
+
+
 def parallel_scan(
     ruleset: Ruleset,
     sessions: Iterable[TcpSession],
     *,
     workers: int,
     chunk_size: Optional[int] = None,
+    checkpoint_store: Optional["CheckpointStore"] = None,
+    checkpoint_key: Optional[str] = None,
 ) -> Tuple[List[Alert], int, "ScanTelemetry"]:
-    """Scan sessions across ``workers`` processes.
+    """Scan sessions across ``workers`` processes, surviving worker death.
 
     Returns ``(alerts, sessions_scanned, telemetry)`` with alerts in
     session order — identical to what a serial :meth:`Ruleset.match_session`
     sweep over the same stream retains — and the per-worker telemetry merged
-    in chunk order.  Falls back to an in-process scan when the stream is too
-    small to be worth a pool.
+    in chunk order, recovery counters included.  Falls back to an
+    in-process scan when the stream is too small to be worth a pool.
+
+    With ``checkpoint_store`` (and a caller-chosen ``checkpoint_key``),
+    completed chunks spill to disk as they finish and are served from disk
+    on the next identically-chunked scan; the caller owns deleting the
+    checkpoints once the surrounding run has fully succeeded.
     """
     from repro.nids.engine import ScanTelemetry, scan_stream
 
-    global _fork_state
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if checkpoint_store is not None and checkpoint_key is None:
+        raise ValueError("checkpoint_store requires checkpoint_key")
     items = list(sessions)
     if chunk_size is None:
         chunk_size = max(1, -(-len(items) // (workers * CHUNKS_PER_WORKER)))
@@ -151,39 +478,144 @@ def parallel_scan(
     if workers == 1 or len(bounds) <= 1:
         return scan_stream(ruleset, items)
 
+    checkpoints: Optional[_ChunkCheckpoints] = None
+    if checkpoint_store is not None:
+        checkpoints = _ChunkCheckpoints(checkpoint_store, checkpoint_key, bounds)
+
+    results: Dict[int, ChunkResult] = {}
+    checkpoint_hits = 0
+    if checkpoints is not None:
+        for index in range(len(bounds)):
+            hit = checkpoints.load(index)
+            if hit is not None:
+                results[index] = hit
+                checkpoint_hits += 1
+
+    fault = _active_fault()
+    abort_after = (
+        fault.target if fault is not None and fault.kind == "scan_abort" else None
+    )
+    completed = 0  # chunks completed by this run (checkpoint hits excluded)
+
+    failures: Dict[int, int] = {index: 0 for index in range(len(bounds))}
+    attempts: Dict[int, int] = {index: 0 for index in range(len(bounds))}
+    pending = [index for index in range(len(bounds)) if index not in results]
+    poison: List[int] = []
+    respawns = 0
+    chunk_retries = 0
+
     use_fork = "fork" in multiprocessing.get_all_start_methods()
-    merged: List[Alert] = []
-    scanned = 0
-    telemetry = ScanTelemetry(engine=ruleset.prefilter_engine)
     if use_fork:
         # Compile once in the parent; forked workers inherit the compiled
         # ruleset and the session list copy-on-write, so tasks are just
-        # index pairs.  The lock keeps a concurrent scan from repinning
-        # _fork_state while this pool's workers are being forked.
+        # index pairs.
         ruleset._ensure_compiled()
-        with _fork_lock:
-            _fork_state = (ruleset, items)
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(bounds)),
-                    mp_context=multiprocessing.get_context("fork"),
-                ) as pool:
-                    for rows, count, chunk_telemetry in pool.map(_scan_range, bounds):
-                        merged.extend(_decode_alerts(rows))
-                        scanned += count
-                        telemetry.merge(chunk_telemetry)
-            finally:
-                _fork_state = None
+        spawn_blob = b""
     else:  # pragma: no cover - exercised only on spawn-only platforms
-        blob = pickle.dumps(ruleset, protocol=pickle.HIGHEST_PROTOCOL)
-        chunks = [items[start:stop] for start, stop in bounds]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(blob,),
-        ) as pool:
-            for rows, count, chunk_telemetry in pool.map(_scan_chunk, chunks):
-                merged.extend(_decode_alerts(rows))
-                scanned += count
-                telemetry.merge(chunk_telemetry)
+        spawn_blob = pickle.dumps(ruleset, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _submit(pool: ProcessPoolExecutor, index: int):
+        attempts[index] += 1
+        if use_fork:
+            start, stop = bounds[index]
+            return pool.submit(_scan_range, (index, attempts[index], start, stop))
+        start, stop = bounds[index]  # pragma: no cover - spawn-only
+        return pool.submit(  # pragma: no cover - spawn-only
+            _scan_chunk, (index, attempts[index], items[start:stop])
+        )
+
+    def _record(index: int, result: ChunkResult) -> None:
+        nonlocal completed
+        results[index] = result
+        if checkpoints is not None:
+            checkpoints.save(index, *result)
+        completed += 1
+        if abort_after is not None and completed >= abort_after:
+            raise ScanAborted(
+                f"injected scan_abort after {completed} completed chunks"
+            )
+
+    while pending:
+        if respawns > MAX_POOL_RESPAWNS:
+            # The pool keeps dying faster than it finishes work; stop
+            # feeding it and scan the remainder in-process.
+            poison.extend(pending)
+            pending = []
+            break
+        if respawns:
+            backoff = _backoff_seconds(respawns)
+            if backoff:
+                time.sleep(backoff)
+        broken = False
+        pool_cm = (
+            _forked_pool(ruleset, items, min(workers, len(pending)))
+            if use_fork
+            else _spawned_pool(spawn_blob, min(workers, len(pending)))
+        )
+        try:
+            with pool_cm as pool:
+                while pending and not broken:
+                    futures = {}
+                    for index in pending:
+                        if attempts[index] > 0:
+                            chunk_retries += 1
+                        futures[_submit(pool, index)] = index
+                    failed_round: List[int] = []
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            failures[index] += 1
+                            failed_round.append(index)
+                            continue
+                        except Exception:
+                            # Chunk-level failure: only this chunk is
+                            # implicated; the pool (and every other
+                            # future) is still healthy.
+                            failures[index] += 1
+                            failed_round.append(index)
+                            continue
+                        _record(index, result)
+                    pending = []
+                    for index in failed_round:
+                        if failures[index] >= MAX_CHUNK_ATTEMPTS:
+                            poison.append(index)
+                        else:
+                            pending.append(index)
+        except BrokenProcessPool:
+            # The pool died before/while accepting work (e.g. during the
+            # warm-up barrier); every unfinished chunk stays pending.
+            broken = True
+        if broken:
+            respawns += 1
+
+    # Poison chunks (and everything stranded by a respawn limit) are scanned
+    # serially in-process: slower, but immune to whatever killed the pool,
+    # and byte-identical by construction.
+    for index in sorted(poison):
+        start, stop = bounds[index]
+        chunk_alerts, count, chunk_telemetry = scan_stream(
+            ruleset, items[start:stop]
+        )
+        _record(index, (_encode_alerts(chunk_alerts), count, chunk_telemetry))
+
+    merged: List[Alert] = []
+    scanned = 0
+    telemetry = ScanTelemetry(engine=ruleset.prefilter_engine)
+    for index in range(len(bounds)):
+        rows, count, chunk_telemetry = results[index]
+        merged.extend(_decode_alerts(rows))
+        scanned += count
+        telemetry.merge(chunk_telemetry)
+    telemetry.chunk_retries = chunk_retries
+    telemetry.pool_respawns = respawns
+    telemetry.poison_chunks = len(poison)
+    telemetry.recovered_chunks = sum(
+        1
+        for index, count in failures.items()
+        if count > 0 and index in results and index not in poison
+    )
+    telemetry.checkpoint_hits = checkpoint_hits
     return merged, scanned, telemetry

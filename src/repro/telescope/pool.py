@@ -63,13 +63,18 @@ class CloudIpPool:
             value = derive_seed(self._seed, "ip", region, epoch, slot, probe)
             index = value % capacity
             # Collision check against other slots this epoch is probabilistic
-            # in the real cloud too; a single rehash keyed by slot makes
+            # in the real cloud too; rehashing keyed by (slot, probe) makes
             # same-epoch collisions vanishingly rare for realistic block
-            # sizes, and the probe loop guarantees progress regardless.
+            # sizes.  Every probe — including rehashes — must pass the
+            # collision check: a rehash can itself land on a taken address.
             address = self._index_to_address(blocks, index)
-            if probe > 0 or not self._collides(region, slot, epoch, address):
+            if not self._collides(region, slot, epoch, address):
                 return address
-        return address  # pragma: no cover - probe loop always returns earlier
+        # Eight independent draws all colliding means the region block is
+        # pathologically small relative to the concurrent slot count; keep
+        # the last draw rather than loop forever (matches real clouds, where
+        # address reuse under exhaustion is the operator's problem).
+        return address
 
     def _index_to_address(
         self, blocks: Tuple[Tuple[int, int], ...], index: int

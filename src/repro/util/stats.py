@@ -89,16 +89,36 @@ def bin_counts(
 
     >>> bin_counts([0.5, 1.5, 1.6], bin_width=1.0, lo=0.0, hi=3.0)
     [(0.0, 1), (1.0, 2), (2.0, 0)]
+
+    Non-representable widths (0.1, 0.2, ...) must not drift: the final
+    edge lands exactly on ``hi`` and the labels stay clean.
+
+    >>> [edge for edge, _ in bin_counts([], bin_width=0.1, lo=0.0, hi=0.5)]
+    [0.0, 0.1, 0.2, 0.3, 0.4]
+    >>> bin_counts([0.999999], bin_width=0.1, lo=0.0, hi=1.0)[-1]
+    (0.9, 1)
     """
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
     if hi <= lo:
         raise ValueError("empty bin range")
-    edges = np.arange(lo, hi + bin_width / 2, bin_width)
+    # An accumulating np.arange(lo, hi + w/2, w) drifts for widths with no
+    # exact binary representation (its last edge can fall short of hi,
+    # silently dropping in-range values near the top).  Derive an integer
+    # bin count instead and let linspace divide [lo, hi] exactly; a
+    # non-dividing width keeps its natural floor(range / width) bins.
+    span = (hi - lo) / bin_width
+    divides = abs(span - round(span)) < 1e-9
+    n_bins = max(1, round(span) if divides else int(span))
+    top = hi if divides else lo + n_bins * bin_width
+    edges = np.linspace(lo, top, n_bins + 1)
     data = np.asarray(list(values), dtype=float)
     data = data[(data >= lo) & (data < hi)]
     counts, _ = np.histogram(data, bins=edges)
-    return [(float(edge), int(count)) for edge, count in zip(edges[:-1], counts)]
+    return [
+        (float(np.round(edge, 12)), int(count))
+        for edge, count in zip(edges[:-1], counts)
+    ]
 
 
 def quantile(values: Iterable[float], p: float) -> float:

@@ -74,14 +74,33 @@ class TestParallelScanEquivalence:
         with pytest.raises(ValueError):
             DetectionEngine(Ruleset(), workers=0)
 
-    def test_overlapping_scans_from_threads(self, seeded_world):
+    def test_overlapping_scans_from_threads(self, seeded_world, monkeypatch):
         """Concurrent parallel scans must not read each other's pinned
-        fork state (the module global is lock-guarded)."""
+        fork state (the module global is lock-guarded) — and must actually
+        *overlap*: the lock covers only the pin → fork window, not the
+        whole pool lifetime.
+
+        The rendezvous barrier fires in each scan after its workers forked
+        and before any chunk runs; both scans can only meet there if the
+        first released the fork lock while still mid-scan.  With the old
+        scan-long lock this deadlocks (and the barrier timeout fails the
+        test) instead of passing serially.
+        """
         import threading
+
+        from repro.nids import parallel
 
         _, _, store, ruleset, serial_alerts, _ = seeded_world
         sessions = list(store)
         results = {}
+        rendezvous = threading.Barrier(2, timeout=60)
+        overlapped = []
+
+        def hook():
+            rendezvous.wait()
+            overlapped.append(True)
+
+        monkeypatch.setattr(parallel, "_after_fork_hook", hook)
 
         def scan(name, subset):
             engine = DetectionEngine(ruleset, workers=2)
@@ -99,7 +118,9 @@ class TestParallelScanEquivalence:
         for thread in threads:
             thread.join()
 
+        assert overlapped == [True, True]
         assert results["full"] == serial_alerts
+        monkeypatch.setattr(parallel, "_after_fork_hook", None)
         serial_half = DetectionEngine(ruleset).scan(half)
         assert results["half"] == serial_half
 

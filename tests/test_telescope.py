@@ -76,6 +76,47 @@ class TestCloudIpPool:
         # /13 + /15 per region.
         assert pool.region_capacity("us-east-1") == (1 << 19) + (1 << 17)
 
+    def test_natural_probe0_collision_rehashes_clean(self):
+        # A found-in-the-wild probe-0 collision: with seed 0, slot 3's
+        # first draw for this epoch lands on slot 0's address.  Allocation
+        # must rehash to an address no lower slot holds.
+        pool = CloudIpPool(seed=0)
+        epoch = 15960
+        addresses = [pool.allocate("us-east-1", slot, epoch) for slot in range(4)]
+        assert len(set(addresses)) == 4
+        assert not pool._collides("us-east-1", 3, epoch, addresses[3])
+
+    def test_every_probe_rechecks_collisions(self):
+        # Force the first N draws to "collide": allocate must keep probing
+        # until a draw passes the collision check, not trust the first
+        # rehash blindly (the old code returned probe 1 unchecked).
+        class _ForcedCollisions(CloudIpPool):
+            def __init__(self, *, seed, poisoned_draws):
+                super().__init__(seed=seed)
+                self._poisoned_draws = poisoned_draws
+                self._seen = []
+
+            def _collides(self, region, slot, epoch, address):
+                if address not in self._seen:
+                    self._seen.append(address)
+                return self._seen.index(address) < self._poisoned_draws
+
+        pool = _ForcedCollisions(seed=1, poisoned_draws=2)
+        address = pool.allocate("us-east-1", 5, 42)
+        # Draws 0 and 1 were marked colliding, so the third draw wins.
+        assert address == pool._seen[2]
+        assert not pool._collides("us-east-1", 5, 42, address)
+
+    def test_exhausted_probes_still_return(self):
+        class _AlwaysCollides(CloudIpPool):
+            def _collides(self, region, slot, epoch, address):
+                return True
+
+        # Pathological pool: all eight probes collide; allocation must
+        # terminate (keeping the last draw) rather than loop or raise.
+        address = _AlwaysCollides(seed=1).allocate("us-east-1", 0, 0)
+        assert isinstance(address, int)
+
 
 class TestTelescopeInstance:
     def _instance(self):

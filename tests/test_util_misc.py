@@ -100,6 +100,26 @@ class TestStatsHelpers:
         with pytest.raises(ValueError):
             bin_counts([], bin_width=1, lo=1, hi=1)
 
+    def test_bin_counts_float_width_keeps_top_edge(self):
+        # Accumulated np.arange error used to leave the last edge short of
+        # hi, silently dropping in-range values just below it.
+        value = np.nextafter(1.0, 0.0)  # largest float < hi
+        bins = bin_counts([value], bin_width=0.1, lo=-1.0, hi=1.0)
+        assert len(bins) == 20
+        assert sum(count for _, count in bins) == 1
+        assert bins[-1] == (0.9, 1)
+
+    def test_bin_counts_float_width_labels_clean(self):
+        edges = [edge for edge, _ in bin_counts([], bin_width=0.1, lo=0.0, hi=2.0)]
+        assert edges == [round(0.1 * i, 1) for i in range(20)]
+
+    def test_bin_counts_non_dividing_width_keeps_floor_bins(self):
+        bins = bin_counts([0.95], bin_width=0.3, lo=0.0, hi=1.0)
+        # floor(1.0 / 0.3) = 3 full bins; the partial tail [0.9, 1.0) has
+        # no bin of its own (unchanged behaviour for non-dividing widths).
+        assert [edge for edge, _ in bins] == [0.0, 0.3, 0.6]
+        assert sum(count for _, count in bins) == 0
+
     def test_quantile(self):
         assert quantile([10, 20, 30, 40], 0.25) == 10
 
