@@ -58,16 +58,22 @@ def study_full() -> StudyResult:
         # Self-heal before studying: a bench killed mid-save must not leave
         # staging debris or a torn entry wedging this configuration's key.
         cache.gc(max_bytes=BENCH_CACHE_MAX_BYTES)
-    result = run_study(bench_config(), cache=cache)
-    if cache is not None:
-        telemetry = cache.telemetry
+    # Manifests land under benchmarks/results/ so every bench session is
+    # self-describing (span tree, metrics, cache/recovery outcomes) even
+    # when the study cache is disabled.
+    manifest_dir = Path(__file__).parent / "results" / "manifests"
+    result = run_study(bench_config(), cache=cache, manifest=manifest_dir)
+    cache_telemetry = result.telemetry.cache
+    if cache_telemetry is not None:
         print(
             f"\n[study cache] {'hit' if result.from_cache else 'miss'} "
-            f"(hits={telemetry.hits} misses={telemetry.misses} "
-            f"evictions={telemetry.evictions} "
-            f"integrity_failures={telemetry.integrity_failures})"
+            f"(hits={cache_telemetry.hits} misses={cache_telemetry.misses} "
+            f"evictions={cache_telemetry.evictions} "
+            f"integrity_failures={cache_telemetry.integrity_failures})"
         )
-    scan = result.scan_telemetry
+    if result.telemetry.manifest_path is not None:
+        print(f"[run manifest] {result.telemetry.manifest_path}")
+    scan = result.telemetry.scan
     if scan is not None and (
         scan.chunk_retries or scan.pool_respawns or scan.poison_chunks
         or scan.recovered_chunks or scan.checkpoint_hits

@@ -14,14 +14,24 @@ Every analysis and benchmark consumes the resulting :class:`StudyResult`.
 ``volume_scale`` trades fidelity of event *counts* against runtime; event
 *timing* statistics (first attacks, desiderata, skill) are unaffected by
 scale because first events are pinned.
+
+Observability: every run is traced (:mod:`repro.obs`) — each of the six
+stages gets a wall-clock span recording where its data came from
+(``computed`` / ``cache`` / ``checkpoint``), the run's telemetry publishes
+into a per-run metrics registry, and the whole record is written atomically
+as a :class:`repro.obs.RunManifest` next to the study cache entry.  The
+one telemetry surface is :attr:`StudyResult.telemetry`; the old scattered
+attributes (``scan_telemetry``, ``cache_telemetry``, ``checkpoint_stages``)
+survive one release as deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from datetime import timedelta
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cache import CacheTelemetry, CheckpointStore, StudyCache
@@ -40,14 +50,54 @@ from repro.lifecycle.rca import RcaDecision, RootCauseAnalysis
 from repro.net.pcapstore import SessionStore
 from repro.nids.engine import DetectionEngine, ScanTelemetry
 from repro.nids.ruleset import Alert, Ruleset
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    StageProfiler,
+    Tracer,
+    get_registry,
+    manifests_root,
+    publish_mapping,
+)
 from repro.telescope.collector import CollectionStats, DscopeCollector
 from repro.telescope.config import TelescopeConfig
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
+#: Named study presets: quick (CI-sized), standard (interactive), full (the
+#: paper's complete traffic volume).  The one blessed constructor for these
+#: is :meth:`StudyConfig.from_preset`.
+PRESETS: Dict[str, Dict[str, object]] = {
+    "quick": dict(volume_scale=0.02, background_per_exploit=0.3,
+                  background_nvd_count=2000),
+    "standard": dict(volume_scale=0.1, background_per_exploit=0.5,
+                     background_nvd_count=20000),
+    "full": dict(volume_scale=1.0, background_per_exploit=1.0,
+                 background_nvd_count=20000),
+}
 
-@dataclass(frozen=True)
+#: Deprecated StudyResult attributes already warned about this process —
+#: each shim warns exactly once, not once per access.
+_DEPRECATION_WARNED: Set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"StudyResult.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
 class StudyConfig:
     """Configuration for one full study run.
+
+    Construction is **keyword-only** — positional construction silently
+    changes meaning whenever a field is added, so it is rejected outright.
+    Named configurations come from :meth:`from_preset`.
 
     ``workers`` is an *execution* knob: it sets how many worker processes
     generate traffic and scan sessions, and can never change the result
@@ -62,37 +112,90 @@ class StudyConfig:
     telescope_instances: int = 300
     workers: int = 1
 
-    def __post_init__(self) -> None:
+    #: Kept as a class-level alias of the module mapping for callers that
+    #: still spell ``StudyConfig.PRESETS``.
+    PRESETS = PRESETS
+
+    def __init__(
+        self,
+        *,
+        seed: int = DEFAULT_SEED,
+        volume_scale: float = 0.1,
+        background_per_exploit: float = 0.5,
+        background_nvd_count: int = 20000,
+        rule_delay: timedelta = timedelta(0),
+        telescope_instances: int = 300,
+        workers: int = 1,
+    ) -> None:
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "volume_scale", volume_scale)
+        object.__setattr__(self, "background_per_exploit", background_per_exploit)
+        object.__setattr__(self, "background_nvd_count", background_nvd_count)
+        object.__setattr__(self, "rule_delay", rule_delay)
+        object.__setattr__(self, "telescope_instances", telescope_instances)
+        object.__setattr__(self, "workers", workers)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
 
-    #: Named presets: quick (CI-sized), standard (interactive), full (the
-    #: paper's complete traffic volume).
-    PRESETS = {
-        "quick": dict(volume_scale=0.02, background_per_exploit=0.3,
-                      background_nvd_count=2000),
-        "standard": dict(volume_scale=0.1, background_per_exploit=0.5,
-                         background_nvd_count=20000),
-        "full": dict(volume_scale=1.0, background_per_exploit=1.0,
-                     background_nvd_count=20000),
-    }
+    @classmethod
+    def from_preset(cls, name: str, **overrides: object) -> "StudyConfig":
+        """The blessed constructor for named configurations.
+
+        Any config field may be overridden by keyword — overrides win over
+        the preset's values:
+
+        >>> StudyConfig.from_preset("full").volume_scale
+        1.0
+        >>> StudyConfig.from_preset("quick", workers=4, seed=7).seed
+        7
+        """
+        try:
+            values = dict(PRESETS[name])
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+            ) from None
+        values.update(overrides)
+        return cls(**values)  # type: ignore[arg-type]
 
     @classmethod
     def preset(
         cls, name: str, *, seed: int = DEFAULT_SEED, workers: int = 1
     ) -> "StudyConfig":
-        """A named configuration preset.
+        """Deprecated alias of :meth:`from_preset` (kept one release)."""
+        warnings.warn(
+            "StudyConfig.preset is deprecated; use StudyConfig.from_preset",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.from_preset(name, seed=seed, workers=workers)
 
-        >>> StudyConfig.preset("full").volume_scale
-        1.0
-        """
-        try:
-            values = cls.PRESETS[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown preset {name!r}; known: {sorted(cls.PRESETS)}"
-            ) from None
-        return cls(seed=seed, workers=workers, **values)
+
+@dataclass
+class StudyTelemetry:
+    """Everything measured *about* a run, behind one facade.
+
+    The single telemetry surface of :class:`StudyResult`: how the scan
+    spent its work, what the study cache did, which stages were served from
+    crash checkpoints, and where the run's manifest landed.
+    """
+
+    #: Telemetry from the NIDS scan this run actually performed (recovery
+    #: counters included); None when the scan was skipped entirely (study
+    #: cache hit or an ``alerts`` stage checkpoint).
+    scan: Optional[ScanTelemetry] = None
+    #: Counters from the cache instance that served (or stored) this run;
+    #: None when the run was uncached.
+    cache: Optional["CacheTelemetry"] = None
+    #: Heavy stages served from crash checkpoints left by an earlier,
+    #: killed run (subset of ``["arrivals", "store", "alerts"]``, in
+    #: pipeline order).  Empty for clean runs and cache hits.
+    checkpoints: List[str] = field(default_factory=list)
+    #: Where this run's manifest was written; None when no manifest root
+    #: was available (uncached, checkpoint-free, manifest=False).
+    manifest_path: Optional[Path] = None
+    #: The in-memory manifest (always built, even when not written).
+    manifest: Optional[RunManifest] = None
 
 
 @dataclass
@@ -115,19 +218,29 @@ class StudyResult:
     #: Whether the heavy stages (generation, capture, scan) were served
     #: from the on-disk study cache instead of recomputed.
     from_cache: bool = False
-    #: Counters from the cache instance that served (or stored) this run —
-    #: hits, misses, evictions, integrity failures, bytes moved.  None when
-    #: the run was uncached.
-    cache_telemetry: Optional["CacheTelemetry"] = None
-    #: Telemetry from the NIDS scan this run actually performed, recovery
-    #: counters (retries, pool respawns, poison chunks, checkpoint hits)
-    #: included.  None when the scan itself was skipped — served from the
-    #: study cache or from an ``alerts`` stage checkpoint.
-    scan_telemetry: Optional[ScanTelemetry] = None
-    #: Heavy stages served from crash checkpoints left by an earlier,
-    #: killed run (subset of ``["arrivals", "store", "alerts"]``, in
-    #: pipeline order).  Empty for clean runs and cache hits.
-    checkpoint_stages: List[str] = field(default_factory=list)
+    #: The run's unified telemetry: ``.scan``, ``.cache``, ``.checkpoints``,
+    #: ``.manifest_path``.
+    telemetry: StudyTelemetry = field(default_factory=StudyTelemetry)
+
+    # -- deprecated telemetry shims (one release of grace) -------------------
+
+    @property
+    def scan_telemetry(self) -> Optional[ScanTelemetry]:
+        """Deprecated: use :attr:`telemetry` ``.scan``."""
+        _warn_deprecated("scan_telemetry", "StudyResult.telemetry.scan")
+        return self.telemetry.scan
+
+    @property
+    def cache_telemetry(self) -> Optional["CacheTelemetry"]:
+        """Deprecated: use :attr:`telemetry` ``.cache``."""
+        _warn_deprecated("cache_telemetry", "StudyResult.telemetry.cache")
+        return self.telemetry.cache
+
+    @property
+    def checkpoint_stages(self) -> List[str]:
+        """Deprecated: use :attr:`telemetry` ``.checkpoints``."""
+        _warn_deprecated("checkpoint_stages", "StudyResult.telemetry.checkpoints")
+        return self.telemetry.checkpoints
 
     @property
     def kept_cves(self) -> List[str]:
@@ -166,6 +279,7 @@ def _resolve_cache(cache: "CacheLike") -> Optional["StudyCache"]:
 
 CacheLike = Union[None, bool, str, Path, "StudyCache"]
 CheckpointLike = Union[None, bool, str, Path, "CheckpointStore"]
+ManifestLike = Union[None, bool, str, Path]
 
 
 def _resolve_checkpoints(
@@ -189,11 +303,86 @@ def _resolve_checkpoints(
     return checkpoints
 
 
+def _resolve_manifest_dir(
+    manifest: ManifestLike,
+    study_cache: Optional["StudyCache"],
+    checkpoint_store: Optional["CheckpointStore"],
+) -> Optional[Path]:
+    """Where (if anywhere) this run's manifest should be written.
+
+    Default (None): next to the study cache when one is in play (or the
+    checkpoint store's root otherwise), mirroring how checkpoints follow
+    the cache.  True forces the default cache root even for uncached runs;
+    a path names the directory outright; False disables the write (the
+    manifest object is still built in memory).
+    """
+    if manifest is False:
+        return None
+    if isinstance(manifest, (str, Path)):
+        return Path(manifest).expanduser()
+    if manifest is True:
+        from repro.cache import default_cache_root
+
+        return manifests_root(default_cache_root())
+    if study_cache is not None:
+        return manifests_root(study_cache.root)
+    if checkpoint_store is not None:
+        return manifests_root(checkpoint_store.root)
+    return None
+
+
+def _build_manifest(
+    *,
+    config: StudyConfig,
+    study_key: str,
+    result_counts: Dict[str, int],
+    from_cache: bool,
+    checkpoint_stages: List[str],
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    profiler: StageProfiler,
+    scan_telemetry: Optional[ScanTelemetry],
+) -> RunManifest:
+    """Assemble the run's manifest from the instrumented pieces."""
+    from repro.cache import code_fingerprint, semantic_config
+
+    spans = tracer.tree()
+    stage_seconds: Dict[str, float] = {}
+    for root in spans:
+        for child in root.get("children", []) or []:
+            stage_seconds[str(child["name"])] = float(child["duration"])
+    execution: Dict[str, object] = {
+        "workers": config.workers,
+        "from_cache": from_cache,
+        "checkpoint_stages": list(checkpoint_stages),
+        "stage_seconds": stage_seconds,
+        "profile": profiler.results(),
+    }
+    if scan_telemetry is not None:
+        execution["scan_wall_seconds"] = scan_telemetry.wall_seconds
+        execution["scan_cpu_seconds"] = scan_telemetry.cpu_seconds
+    return RunManifest(
+        study={
+            "key": study_key,
+            "code": code_fingerprint(),
+            "config": {
+                name: str(value)
+                for name, value in semantic_config(config).items()
+            },
+        },
+        outcome=result_counts,
+        execution=execution,
+        spans=spans,
+        metrics=registry.snapshot(),
+    )
+
+
 def run_study(
     config: Optional[StudyConfig] = None,
     *,
     cache: CacheLike = None,
     checkpoints: CheckpointLike = None,
+    manifest: ManifestLike = None,
 ) -> StudyResult:
     """Run the complete pipeline and return its result.
 
@@ -212,134 +401,230 @@ def run_study(
     study's content key; rerunning the same configuration resumes from
     them, rescanning only what never completed.  Checkpoints are deleted
     as soon as the run succeeds (its results then live in the study cache).
+
+    ``manifest`` controls the run manifest (:mod:`repro.obs`): by default
+    one is written to ``<cache root>/manifests/<study key>.json`` whenever
+    a cache or checkpoint root is in play; pass a directory to write it
+    elsewhere, True to force the default root, or False to skip the write.
+    The manifest object itself is always available as
+    ``result.telemetry.manifest``.
     """
+    from repro.cache import study_key as compute_study_key
+
     config = config or StudyConfig()
     study_cache = _resolve_cache(cache)
     checkpoint_store = _resolve_checkpoints(checkpoints, study_cache)
-    study_key = None
-    if checkpoint_store is not None:
-        from repro.cache import study_key as compute_study_key
+    manifest_dir = _resolve_manifest_dir(manifest, study_cache, checkpoint_store)
+    study_key = compute_study_key(config)
 
-        study_key = compute_study_key(config)
-    bundle = build_datasets(
-        seed=config.seed,
-        background_count=config.background_nvd_count,
-        rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
-    )
-    ruleset = build_study_ruleset(rule_delay=config.rule_delay)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = StageProfiler()
 
     checkpoint_stages: List[str] = []
     scan_telemetry: Optional[ScanTelemetry] = None
-    cached = study_cache.load(config) if study_cache is not None else None
-    if cached is not None:
-        store = cached.store
-        alerts = cached.alerts
-        collection_stats = cached.collection_stats
-        ground_truth = cached.ground_truth
-        from_cache = True
-        if checkpoint_store is not None:
-            # Any checkpoints for this key are leftovers from a run that
-            # (evidently) completed elsewhere; drop them.
-            checkpoint_store.delete(study_key)
-    else:
-        from repro.cache.checkpoint import (
-            decode_stage_alerts,
-            decode_stage_arrivals,
-            decode_stage_store,
-            encode_stage_alerts,
-            encode_stage_arrivals,
-            encode_stage_store,
-        )
 
-        arrivals = None
-        if checkpoint_store is not None:
-            payload = checkpoint_store.load(study_key, "arrivals")
-            if payload is not None:
-                arrivals = decode_stage_arrivals(payload)
-                checkpoint_stages.append("arrivals")
-        if arrivals is None:
-            generator = TrafficGenerator(
-                TrafficConfig(
-                    seed=config.seed,
-                    volume_scale=config.volume_scale,
-                    background_per_exploit=config.background_per_exploit,
-                ),
-                window=bundle.window,
+    with tracer.span("run_study", key=study_key, workers=config.workers):
+        # Stage 1: datasets (plus the retrospective ruleset they imply).
+        with tracer.span("datasets") as span:
+            bundle = build_datasets(
+                seed=config.seed,
+                background_count=config.background_nvd_count,
+                rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
             )
-            arrivals = generator.generate(workers=config.workers)
-            if checkpoint_store is not None:
-                checkpoint_store.save(
-                    study_key, "arrivals", encode_stage_arrivals(arrivals)
-                )
+            ruleset = build_study_ruleset(rule_delay=config.rule_delay)
+            span.set("background_cves", config.background_nvd_count)
 
-        captured = None
-        if checkpoint_store is not None:
-            payload = checkpoint_store.load(study_key, "store")
-            if payload is not None:
-                captured = decode_stage_store(payload)
-                checkpoint_stages.append("store")
-        if captured is not None:
-            store, collection_stats, ground_truth = captured
+        cached = study_cache.load(config) if study_cache is not None else None
+        if cached is not None:
+            with tracer.span("traffic") as span:
+                span.set("source", "cache")
+            with tracer.span("capture") as span:
+                span.set("source", "cache")
+                span.set("sessions", len(cached.store))
+            with tracer.span("scan") as span:
+                span.set("source", "cache")
+                span.set("alerts", len(cached.alerts))
+            store = cached.store
+            alerts = cached.alerts
+            collection_stats = cached.collection_stats
+            ground_truth = cached.ground_truth
+            from_cache = True
+            if checkpoint_store is not None:
+                # Any checkpoints for this key are leftovers from a run that
+                # (evidently) completed elsewhere; drop them.
+                checkpoint_store.delete(study_key)
         else:
-            collector = DscopeCollector(
-                TelescopeConfig(
-                    concurrent_instances=config.telescope_instances,
-                    seed=config.seed,
-                ),
-                window=bundle.window,
+            from repro.cache.checkpoint import (
+                decode_stage_alerts,
+                decode_stage_arrivals,
+                decode_stage_store,
+                encode_stage_alerts,
+                encode_stage_arrivals,
+                encode_stage_store,
             )
-            store = collector.collect(arrivals)
-            collection_stats = collector.stats
-            ground_truth = collector.ground_truth
-            if checkpoint_store is not None:
-                checkpoint_store.save(
-                    study_key,
-                    "store",
-                    encode_stage_store(store, collection_stats, ground_truth),
+
+            # Stage 2: traffic generation (or its checkpoint).
+            with tracer.span("traffic") as span:
+                arrivals = None
+                if checkpoint_store is not None:
+                    payload = checkpoint_store.load(study_key, "arrivals")
+                    if payload is not None:
+                        arrivals = decode_stage_arrivals(payload)
+                        checkpoint_stages.append("arrivals")
+                        span.set("source", "checkpoint")
+                if arrivals is None:
+                    span.set("source", "computed")
+                    generator = TrafficGenerator(
+                        TrafficConfig(
+                            seed=config.seed,
+                            volume_scale=config.volume_scale,
+                            background_per_exploit=config.background_per_exploit,
+                        ),
+                        window=bundle.window,
+                    )
+                    with profiler.stage("traffic"):
+                        arrivals = generator.generate(
+                            workers=config.workers, tracer=tracer
+                        )
+                    if checkpoint_store is not None:
+                        checkpoint_store.save(
+                            study_key, "arrivals", encode_stage_arrivals(arrivals)
+                        )
+                span.set("arrivals", len(arrivals))
+
+            # Stage 3: telescope capture (or its checkpoint).
+            with tracer.span("capture") as span:
+                captured = None
+                if checkpoint_store is not None:
+                    payload = checkpoint_store.load(study_key, "store")
+                    if payload is not None:
+                        captured = decode_stage_store(payload)
+                        checkpoint_stages.append("store")
+                        span.set("source", "checkpoint")
+                if captured is not None:
+                    store, collection_stats, ground_truth = captured
+                else:
+                    span.set("source", "computed")
+                    collector = DscopeCollector(
+                        TelescopeConfig(
+                            concurrent_instances=config.telescope_instances,
+                            seed=config.seed,
+                        ),
+                        window=bundle.window,
+                    )
+                    with profiler.stage("capture"):
+                        store = collector.collect(arrivals)
+                    collection_stats = collector.stats
+                    ground_truth = collector.ground_truth
+                    if checkpoint_store is not None:
+                        checkpoint_store.save(
+                            study_key,
+                            "store",
+                            encode_stage_store(
+                                store, collection_stats, ground_truth
+                            ),
+                        )
+                span.set("sessions", len(store))
+
+            # Stage 4: the NIDS scan (or its checkpoint).
+            with tracer.span("scan") as span:
+                alerts = None
+                if checkpoint_store is not None:
+                    payload = checkpoint_store.load(study_key, "alerts")
+                    if payload is not None:
+                        alerts = decode_stage_alerts(payload)
+                        checkpoint_stages.append("alerts")
+                        span.set("source", "checkpoint")
+                if alerts is None:
+                    span.set("source", "computed")
+                    engine = DetectionEngine(
+                        ruleset,
+                        workers=config.workers,
+                        checkpoint_store=checkpoint_store,
+                        checkpoint_key=study_key,
+                        tracer=tracer,
+                    )
+                    with profiler.stage("scan"):
+                        alerts = engine.scan(store)
+                    scan_telemetry = engine.stats.telemetry
+                    if checkpoint_store is not None:
+                        checkpoint_store.save(
+                            study_key, "alerts", encode_stage_alerts(alerts)
+                        )
+                span.set("alerts", len(alerts))
+            from_cache = False
+            if study_cache is not None:
+                study_cache.save(
+                    config,
+                    arrivals=arrivals,
+                    store=store,
+                    alerts=alerts,
+                    collection_stats=collection_stats,
+                    ground_truth=ground_truth,
                 )
-
-        alerts = None
-        if checkpoint_store is not None:
-            payload = checkpoint_store.load(study_key, "alerts")
-            if payload is not None:
-                alerts = decode_stage_alerts(payload)
-                checkpoint_stages.append("alerts")
-        if alerts is None:
-            engine = DetectionEngine(
-                ruleset,
-                workers=config.workers,
-                checkpoint_store=checkpoint_store,
-                checkpoint_key=study_key,
-            )
-            alerts = engine.scan(store)
-            scan_telemetry = engine.stats.telemetry
             if checkpoint_store is not None:
-                checkpoint_store.save(
-                    study_key, "alerts", encode_stage_alerts(alerts)
-                )
-        from_cache = False
-        if study_cache is not None:
-            study_cache.save(
-                config,
-                arrivals=arrivals,
-                store=store,
-                alerts=alerts,
-                collection_stats=collection_stats,
-                ground_truth=ground_truth,
-            )
-        if checkpoint_store is not None:
-            # The run completed: its outputs are in the study cache (or the
-            # caller's hands); recovery state has served its purpose.
-            checkpoint_store.delete(study_key)
+                # The run completed: its outputs are in the study cache (or
+                # the caller's hands); recovery state has served its purpose.
+                checkpoint_store.delete(study_key)
 
-    events = events_from_alerts(alerts)
-    grouped = events_by_cve(events)
-    rca = RootCauseAnalysis(store)
-    kept, decisions = rca.filter(grouped)
+        # Stage 5: exploit-event extraction and root-cause analysis.
+        with tracer.span("extract") as span:
+            events = events_from_alerts(alerts)
+            grouped = events_by_cve(events)
+            rca = RootCauseAnalysis(store)
+            kept, decisions = rca.filter(grouped)
+            span.set("events", len(events))
+            span.set("kept_cves", len(kept))
 
-    kept_events = [event for group in kept.values() for event in group]
-    timelines = assemble_timelines(bundle, first_attacks(kept_events))
+        # Stage 6: per-CVE timeline assembly.
+        with tracer.span("timelines") as span:
+            kept_events = [event for group in kept.values() for event in group]
+            timelines = assemble_timelines(bundle, first_attacks(kept_events))
+            span.set("timelines", len(timelines))
 
+    # Publish this run's telemetry into its registry (and fold the snapshot
+    # into the process-wide one), then freeze everything into the manifest.
+    if scan_telemetry is not None:
+        publish_mapping(registry, "scan", scan_telemetry.as_dict())
+    publish_mapping(registry, "capture", collection_stats.as_dict())
+    if study_cache is not None:
+        publish_mapping(registry, "cache", study_cache.telemetry.as_dict())
+    if checkpoint_store is not None:
+        publish_mapping(
+            registry, "checkpoint", checkpoint_store.telemetry.as_dict()
+        )
+    result_counts = {
+        "sessions": len(store),
+        "alerts": len(alerts),
+        "events": len(events),
+        "kept_cves": len(kept),
+    }
+    publish_mapping(registry, "pipeline", result_counts)
+    get_registry().merge_snapshot(registry.snapshot())
+
+    run_manifest = _build_manifest(
+        config=config,
+        study_key=study_key,
+        result_counts=result_counts,
+        from_cache=from_cache,
+        checkpoint_stages=checkpoint_stages,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        scan_telemetry=scan_telemetry,
+    )
+    manifest_path: Optional[Path] = None
+    if manifest_dir is not None:
+        manifest_path = run_manifest.write(manifest_dir / f"{study_key}.json")
+
+    telemetry = StudyTelemetry(
+        scan=scan_telemetry,
+        cache=(study_cache.telemetry if study_cache is not None else None),
+        checkpoints=checkpoint_stages,
+        manifest_path=manifest_path,
+        manifest=run_manifest,
+    )
     return StudyResult(
         config=config,
         bundle=bundle,
@@ -353,9 +638,5 @@ def run_study(
         collection_stats=collection_stats,
         ground_truth=ground_truth,
         from_cache=from_cache,
-        cache_telemetry=(
-            study_cache.telemetry if study_cache is not None else None
-        ),
-        scan_telemetry=scan_telemetry,
-        checkpoint_stages=checkpoint_stages,
+        telemetry=telemetry,
     )

@@ -83,6 +83,14 @@ class CheckpointStore:
         self.root = Path(root).expanduser() if root else default_cache_root()
         self.telemetry = CheckpointTelemetry()
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a telemetry counter, mirrored into the process metrics
+        registry as ``checkpoint.<name>`` (see ``StudyCache._count``)."""
+        setattr(self.telemetry, name, getattr(self.telemetry, name) + amount)
+        from repro.obs import get_registry
+
+        get_registry().inc(f"checkpoint.{name}", amount)
+
     @property
     def checkpoint_root(self) -> Path:
         return self.root / "checkpoints"
@@ -122,8 +130,8 @@ class CheckpointStore:
         except BaseException:
             staging.unlink(missing_ok=True)
             raise
-        self.telemetry.saves += 1
-        self.telemetry.bytes_written += path.stat().st_size
+        self._count("saves")
+        self._count("bytes_written", path.stat().st_size)
         return path
 
     def load(self, key: str, name: str):
@@ -139,7 +147,7 @@ class CheckpointStore:
             with gzip.open(path, "rt", encoding="ascii") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
-            self.telemetry.misses += 1
+            self._count("misses")
             return None
         except (OSError, ValueError):
             self._invalidate(path)
@@ -152,13 +160,13 @@ class CheckpointStore:
         ):
             self._invalidate(path)
             return None
-        self.telemetry.hits += 1
-        self.telemetry.bytes_read += raw_size
+        self._count("hits")
+        self._count("bytes_read", raw_size)
         return envelope["payload"]
 
     def _invalidate(self, path: Path) -> None:
-        self.telemetry.integrity_failures += 1
-        self.telemetry.misses += 1
+        self._count("integrity_failures")
+        self._count("misses")
         path.unlink(missing_ok=True)
 
     def has(self, key: str, name: str) -> bool:
@@ -182,7 +190,7 @@ class CheckpointStore:
         existed = directory.exists()
         if existed:
             shutil.rmtree(directory, ignore_errors=True)
-            self.telemetry.deletes += 1
+            self._count("deletes")
         return existed
 
     # -- population / lifecycle ---------------------------------------------
@@ -262,7 +270,7 @@ class CheckpointStore:
             )
             if empty or expired:
                 shutil.rmtree(directory, ignore_errors=True)
-                self.telemetry.deletes += 1
+                self._count("deletes")
                 removed += 1
         return removed
 
@@ -271,7 +279,7 @@ class CheckpointStore:
         keys = self.keys()
         for key in keys:
             shutil.rmtree(self.checkpoint_root / key, ignore_errors=True)
-        self.telemetry.deletes += len(keys)
+        self._count("deletes", len(keys))
         return len(keys)
 
 

@@ -277,6 +277,18 @@ class StudyCache:
         self.root = Path(root).expanduser() if root else default_cache_root()
         self.telemetry = CacheTelemetry()
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a telemetry counter, mirrored into the process metrics.
+
+        The dataclass stays the per-instance API; the process-wide registry
+        (``cache.<name>``) aggregates across every cache instance so run
+        manifests and ``repro metrics`` see cache behaviour in one place.
+        """
+        setattr(self.telemetry, name, getattr(self.telemetry, name) + amount)
+        from repro.obs import get_registry
+
+        get_registry().inc(f"cache.{name}", amount)
+
     # Backwards-compatible aliases for the original counters.
     @property
     def hits(self) -> int:
@@ -301,7 +313,7 @@ class StudyCache:
 
     def _evict_dir(self, path: Path) -> None:
         shutil.rmtree(path, ignore_errors=True)
-        self.telemetry.evictions += 1
+        self._count("evictions")
 
     def load(self, config) -> Optional[CachedStudy]:
         """The cached entry for a config, or None.
@@ -312,13 +324,13 @@ class StudyCache:
         """
         path = self.entry_path(config)
         if not path.exists():
-            self.telemetry.misses += 1
+            self._count("misses")
             return None
         report = verify_entry(path, deep=True, expect_schema=CACHE_SCHEMA)
         if not report.ok:
             # Torn or corrupt: evict rather than leave it blocking the key.
-            self.telemetry.integrity_failures += 1
-            self.telemetry.misses += 1
+            self._count("integrity_failures")
+            self._count("misses")
             self._evict_dir(path)
             return None
         meta = report.meta
@@ -348,12 +360,12 @@ class StudyCache:
             ):
                 raise ValueError("record counts disagree with meta.json")
         except (OSError, ValueError, KeyError):
-            self.telemetry.integrity_failures += 1
-            self.telemetry.misses += 1
+            self._count("integrity_failures")
+            self._count("misses")
             self._evict_dir(path)
             return None
-        self.telemetry.hits += 1
-        self.telemetry.bytes_read += report.bytes
+        self._count("hits")
+        self._count("bytes_read", report.bytes)
         return CachedStudy(
             path=path,
             meta=meta,
@@ -378,13 +390,13 @@ class StudyCache:
                 return True
             except OSError:
                 if is_complete_entry(path, expect_schema=CACHE_SCHEMA):
-                    self.telemetry.publish_conflicts += 1
+                    self._count("publish_conflicts")
                     shutil.rmtree(staging, ignore_errors=True)
                     return False
-                self.telemetry.blocked_slot_evictions += 1
+                self._count("blocked_slot_evictions")
                 self._evict_dir(path)
         # Pathological contention: give the save up rather than spin.
-        self.telemetry.publish_failures += 1
+        self._count("publish_failures")
         shutil.rmtree(staging, ignore_errors=True)
         return False
 
@@ -458,13 +470,14 @@ class StudyCache:
                 json.dumps(meta, indent=2) + "\n", encoding="utf-8"
             )
             if self._publish(staging, path):
-                self.telemetry.bytes_written += sum(
-                    int(entry["bytes"]) for entry in manifest.values()
+                self._count(
+                    "bytes_written",
+                    sum(int(entry["bytes"]) for entry in manifest.values()),
                 )
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
-        self.telemetry.saves += 1
+        self._count("saves")
         return path
 
     # -- lifecycle / inspection --------------------------------------------
@@ -510,7 +523,7 @@ class StudyCache:
             max_bytes=max_bytes,
             staging_grace=staging_grace,
         )
-        self.telemetry.evictions += report.entries_removed
+        self._count("evictions", report.entries_removed)
         return report
 
     def stats(self) -> Dict[str, object]:
@@ -556,5 +569,5 @@ class StudyCache:
         entries = [p for p in self.study_root.iterdir() if p.is_dir()]
         for entry in entries:
             shutil.rmtree(entry, ignore_errors=True)
-        self.telemetry.evictions += len(entries)
+        self._count("evictions", len(entries))
         return len(entries)

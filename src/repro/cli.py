@@ -6,6 +6,8 @@ Subcommands::
                       results, optionally export artifacts to a directory
     repro experiment  regenerate one paper table/figure (see `repro list`)
     repro report      per-CVE lifecycle dossier from a study run
+    repro trace       render a run manifest's span tree (where time went)
+    repro metrics     render a run manifest's metrics snapshot
     repro list        list regenerable experiments
     repro rules       dump the generated Snort ruleset text
     repro seeds       print the encoded Appendix E seed table
@@ -13,7 +15,11 @@ Subcommands::
     repro cache       study-cache maintenance (stats / verify / gc / clear /
                       checkpoints)
 
-Every subcommand is deterministic for a given ``--seed``.
+Flags are uniform across subcommands: every study-running or
+manifest-reading subcommand accepts ``--workers``, ``--cache`` /
+``--no-cache``, ``--cache-dir``, and ``--json`` with identical meanings,
+via one shared parent parser.  Every subcommand is deterministic for a
+given ``--seed``.
 """
 
 from __future__ import annotations
@@ -40,49 +46,60 @@ def _positive_int(value: str) -> int:
     return count
 
 
-def _add_study_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scale", type=float, default=None,
-        help="traffic volume scale (1.0 = the paper's full ~117k events; "
-             "default 0.05, or the preset's scale with --preset)",
-    )
-    parser.add_argument("--seed", type=int, default=20230321)
-    parser.add_argument(
-        "--preset", choices=sorted(StudyConfig.PRESETS), default=None,
-        help="named study configuration (quick / standard / full)",
-    )
-    parser.add_argument(
+def common_parent() -> argparse.ArgumentParser:
+    """The flags every study-running / manifest-reading subcommand shares.
+
+    One definition means one spelling, one help text, and one default for
+    ``--workers``, ``--cache`` / ``--no-cache``, ``--cache-dir``, and
+    ``--json`` across ``run``, ``experiment``, ``report``, ``trace``,
+    ``metrics``, and the cache maintenance subcommands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers", type=_positive_int, default=1,
         help="worker processes for traffic generation and the NIDS scan "
              "(1 = serial; results are identical for any value)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=True,
         help="reuse study intermediates from the on-disk cache "
              "(default on; see --cache-dir)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="study cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    parent.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    return parent
+
+
+def study_parent() -> argparse.ArgumentParser:
+    """Flags that shape the study configuration itself."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scale", type=float, default=None,
+        help="traffic volume scale (1.0 = the paper's full ~117k events; "
+             "default 0.05, or the preset's scale with --preset)",
+    )
+    parent.add_argument("--seed", type=int, default=20230321)
+    parent.add_argument(
+        "--preset", choices=sorted(StudyConfig.PRESETS), default=None,
+        help="named study configuration (quick / standard / full)",
+    )
+    return parent
 
 
 def _study(args: argparse.Namespace) -> StudyResult:
-    import dataclasses
-
+    overrides = {"seed": args.seed, "workers": args.workers}
+    if args.scale is not None:
+        overrides["volume_scale"] = args.scale
     if args.preset is not None:
-        config = StudyConfig.preset(
-            args.preset, seed=args.seed, workers=args.workers
-        )
-        if args.scale is not None:
-            config = dataclasses.replace(config, volume_scale=args.scale)
+        config = StudyConfig.from_preset(args.preset, **overrides)
     else:
-        config = StudyConfig(
-            seed=args.seed,
-            volume_scale=args.scale if args.scale is not None else 0.05,
-            background_nvd_count=5000,
-            workers=args.workers,
-        )
+        overrides.setdefault("volume_scale", 0.05)
+        config = StudyConfig(background_nvd_count=5000, **overrides)
     cache = None
     if args.cache:
         from repro.cache import StudyCache
@@ -97,9 +114,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.reporting.tables import render_skill_table
 
     result = _study(args)
+    reports = compute_skill(result.timelines.values())
+    if args.json:
+        manifest_path = result.telemetry.manifest_path
+        print(json.dumps(
+            {
+                "from_cache": result.from_cache,
+                "sessions": len(result.store),
+                "alerts": len(result.alerts),
+                "events": len(result.kept_events),
+                "kept_cves": result.kept_cves,
+                "dropped_cves": result.dropped_cves,
+                "mean_skill": mean_skill(reports),
+                "mitigated_share": mitigated_share(result.kept_events),
+                "manifest": (
+                    str(manifest_path) if manifest_path is not None else None
+                ),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     if result.from_cache:
         print("(traffic, capture, and scan served from the study cache)\n")
-    reports = compute_skill(result.timelines.values())
     print(render_skill_table(reports, title="Table 4 (measured)"))
     print(f"\nmean skill: {mean_skill(reports):.2f}")
     print(f"exploit events: {len(result.kept_events):,} across "
@@ -144,6 +181,18 @@ def _export_artifacts(result: StudyResult, out: Path) -> None:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = _study(args)
     report = run_experiment(args.id, result)
+    if args.json:
+        print(json.dumps(
+            {
+                "experiment": report.experiment_id,
+                "title": report.title,
+                "paper": report.paper,
+                "measured": report.measured,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(f"{report.experiment_id}: {report.title}\n")
     if report.paper:
         rows = [
@@ -170,7 +219,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"  {known}", file=sys.stderr)
         return 1
     events = result.events_per_cve.get(cve_id, ())
-    print(render_cve_report(build_cve_report(timeline, events)))
+    report = build_cve_report(timeline, events)
+    if args.json:
+        import dataclasses
+
+        record = dataclasses.asdict(report)
+        print(json.dumps(record, indent=2, sort_keys=True, default=str))
+        return 0
+    print(render_cve_report(report))
+    return 0
+
+
+def _resolve_manifest_path(args: argparse.Namespace) -> Optional[Path]:
+    """The manifest a trace/metrics subcommand should read.
+
+    An explicit positional path wins; otherwise the newest manifest under
+    the cache root (``--cache-dir`` / ``$REPRO_CACHE_DIR`` / the default).
+    """
+    from repro.cache import default_cache_root
+    from repro.obs import latest_manifest
+
+    if args.manifest is not None:
+        return Path(args.manifest)
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_root()
+    return latest_manifest(root)
+
+
+def _load_manifest(args: argparse.Namespace):
+    from repro.obs import RunManifest
+
+    path = _resolve_manifest_path(args)
+    if path is None or not path.exists():
+        print(
+            "no run manifest found; run a study first (repro run) or pass "
+            "a manifest path",
+            file=sys.stderr,
+        )
+        return None, None
+    return path, RunManifest.load(path)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_span_tree
+
+    path, manifest = _load_manifest(args)
+    if manifest is None:
+        return 1
+    if args.json:
+        print(json.dumps(manifest.as_dict(), indent=2, sort_keys=True))
+        return 0
+    study = manifest.study
+    execution = manifest.execution
+    print(f"manifest: {path}")
+    print(f"study key: {study.get('key')}")
+    print(
+        f"workers: {execution.get('workers')}  "
+        f"from_cache: {execution.get('from_cache')}  "
+        f"checkpoints: {execution.get('checkpoint_stages') or 'none'}"
+    )
+    print()
+    print(render_span_tree(manifest.spans, show_attributes=not args.no_attrs))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    path, manifest = _load_manifest(args)
+    if manifest is None:
+        return 1
+    metrics = manifest.metrics
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+        return 0
+    print(f"manifest: {path}\n")
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters:
+        rows = [[name, f"{int(value):,}"] for name, value in sorted(counters.items())]
+        print(render_table(["counter", "value"], rows))
+    if gauges:
+        print()
+        rows = [[name, f"{float(value):.6g}"] for name, value in sorted(gauges.items())]
+        print(render_table(["gauge", "value"], rows))
+    if histograms:
+        print()
+        rows = [
+            [
+                name,
+                record.get("count"),
+                f"{float(record.get('sum') or 0.0):.6g}",
+                record.get("min"),
+                record.get("max"),
+            ]
+            for name, record in sorted(histograms.items())
+        ]
+        print(render_table(["histogram", "count", "sum", "min", "max"], rows))
+    if not (counters or gauges or histograms):
+        print("(no metrics recorded)")
     return 0
 
 
@@ -395,7 +540,7 @@ def _cmd_cache_checkpoints(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_cache_commands(subparsers) -> None:
+def _add_cache_commands(subparsers, common: argparse.ArgumentParser) -> None:
     cache_parser = subparsers.add_parser(
         "cache", help="study-cache maintenance"
     )
@@ -403,25 +548,16 @@ def _add_cache_commands(subparsers) -> None:
         dest="cache_command", required=True
     )
 
-    def _common(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument(
-            "--cache-dir", default=None, metavar="DIR",
-            help="cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
-        )
-
     stats_parser = cache_subparsers.add_parser(
-        "stats", help="entry population, sizes, and telemetry"
-    )
-    _common(stats_parser)
-    stats_parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "stats", parents=[common],
+        help="entry population, sizes, and telemetry",
     )
     stats_parser.set_defaults(func=_cmd_cache_stats)
 
     verify_parser = cache_subparsers.add_parser(
-        "verify", help="check every entry against its checksum manifest"
+        "verify", parents=[common],
+        help="check every entry against its checksum manifest",
     )
-    _common(verify_parser)
     verify_parser.add_argument(
         "--shallow", action="store_true",
         help="skip digest recomputation (existence and sizes only)",
@@ -433,9 +569,9 @@ def _add_cache_commands(subparsers) -> None:
     verify_parser.set_defaults(func=_cmd_cache_verify)
 
     gc_parser = cache_subparsers.add_parser(
-        "gc", help="remove orphaned staging dirs, torn and bounded-out entries"
+        "gc", parents=[common],
+        help="remove orphaned staging dirs, torn and bounded-out entries",
     )
-    _common(gc_parser)
     gc_parser.add_argument(
         "--max-age-days", type=float, default=None, metavar="DAYS",
         help="evict entries older than DAYS",
@@ -447,18 +583,13 @@ def _add_cache_commands(subparsers) -> None:
     gc_parser.set_defaults(func=_cmd_cache_gc)
 
     clear_parser = cache_subparsers.add_parser(
-        "clear", help="drop every entry"
+        "clear", parents=[common], help="drop every entry"
     )
-    _common(clear_parser)
     clear_parser.set_defaults(func=_cmd_cache_clear)
 
     checkpoints_parser = cache_subparsers.add_parser(
-        "checkpoints",
+        "checkpoints", parents=[common],
         help="list, gc, or clear crash-recovery checkpoints",
-    )
-    _common(checkpoints_parser)
-    checkpoints_parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
     )
     checkpoints_parser.add_argument(
         "--max-age-days", type=float, default=None, metavar="DAYS",
@@ -477,25 +608,52 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'The CVE Wayback Machine' (IMC 2023)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    common = common_parent()
+    study = study_parent()
 
-    run_parser = subparsers.add_parser("run", help="run the full study")
-    _add_study_options(run_parser)
+    run_parser = subparsers.add_parser(
+        "run", parents=[common, study], help="run the full study"
+    )
     run_parser.add_argument("--out", help="directory for exported artifacts")
     run_parser.set_defaults(func=_cmd_run)
 
     experiment_parser = subparsers.add_parser(
-        "experiment", help="regenerate one paper table/figure"
+        "experiment", parents=[common, study],
+        help="regenerate one paper table/figure",
     )
     experiment_parser.add_argument("id", choices=list_experiments())
-    _add_study_options(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
     report_parser = subparsers.add_parser(
-        "report", help="per-CVE lifecycle dossier"
+        "report", parents=[common, study],
+        help="per-CVE lifecycle dossier",
     )
     report_parser.add_argument("cve", help="CVE id (e.g. CVE-2021-44228)")
-    _add_study_options(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    trace_parser = subparsers.add_parser(
+        "trace", parents=[common],
+        help="render a run manifest's span tree",
+    )
+    trace_parser.add_argument(
+        "manifest", nargs="?", default=None,
+        help="manifest path (default: newest under the cache root)",
+    )
+    trace_parser.add_argument(
+        "--no-attrs", action="store_true",
+        help="omit span attribute lines",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", parents=[common],
+        help="render a run manifest's metrics snapshot",
+    )
+    metrics_parser.add_argument(
+        "manifest", nargs="?", default=None,
+        help="manifest path (default: newest under the cache root)",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     list_parser = subparsers.add_parser("list", help="list experiments")
     list_parser.set_defaults(func=_cmd_list)
@@ -523,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     baselines_parser.set_defaults(func=_cmd_baselines)
 
-    _add_cache_commands(subparsers)
+    _add_cache_commands(subparsers, common)
 
     return parser
 

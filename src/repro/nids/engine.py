@@ -52,6 +52,13 @@ class ScanTelemetry:
     prefilter_seconds: float = 0.0
     eval_seconds: float = 0.0
     scan_seconds: float = 0.0
+    #: Elapsed time as the *caller* experienced it.  For a serial scan this
+    #: equals ``scan_seconds``; for a parallel scan it is measured by the
+    #: parent around the whole pool pass, while ``scan_seconds`` (summed
+    #: across workers — see :attr:`cpu_seconds`) counts concurrent work and
+    #: can legitimately exceed it.  Never report summed worker clocks as
+    #: elapsed time.
+    wall_seconds: float = 0.0
     #: Recovery counters, populated only by the fault-tolerant parallel
     #: path (:func:`repro.nids.parallel.parallel_scan`): chunk submissions
     #: that were retries, pool generations lost to worker death, chunks
@@ -67,6 +74,18 @@ class ScanTelemetry:
     #: taken when the scan finishes — eviction churn shows up as misses
     #: exceeding the distinct-pattern count.
     pcre_cache: Optional[Tuple[int, int, Optional[int], int]] = None
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total scanning work summed across workers (= ``scan_seconds``)."""
+        return self.scan_seconds
+
+    @property
+    def utilization(self) -> float:
+        """Parallel speed-up actually realised: cpu seconds per wall second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
 
     @property
     def prefilter_hit_ratio(self) -> float:
@@ -94,6 +113,10 @@ class ScanTelemetry:
         self.prefilter_seconds += other.prefilter_seconds
         self.eval_seconds += other.eval_seconds
         self.scan_seconds += other.scan_seconds
+        # Summing is only correct for sequential merges (a serial engine
+        # accumulating passes); the parallel scan overwrites this with its
+        # own parent-measured elapsed time after merging its workers.
+        self.wall_seconds += other.wall_seconds
         self.chunk_retries += other.chunk_retries
         self.pool_respawns += other.pool_respawns
         self.recovered_chunks += other.recovered_chunks
@@ -122,6 +145,9 @@ class ScanTelemetry:
             "prefilter_seconds": self.prefilter_seconds,
             "eval_seconds": self.eval_seconds,
             "scan_seconds": self.scan_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "wall_seconds": self.wall_seconds,
+            "utilization": self.utilization,
             "chunk_retries": self.chunk_retries,
             "pool_respawns": self.pool_respawns,
             "recovered_chunks": self.recovered_chunks,
@@ -143,6 +169,7 @@ class ScanTelemetry:
         "prefilter_seconds",
         "eval_seconds",
         "scan_seconds",
+        "wall_seconds",
         "chunk_retries",
         "pool_respawns",
         "recovered_chunks",
@@ -291,6 +318,7 @@ def scan_stream(
     telemetry.sessions = scanned
     telemetry.payload_bytes = sum(len(session.payload) for session in items)
     telemetry.scan_seconds = perf_counter() - started
+    telemetry.wall_seconds = telemetry.scan_seconds
     telemetry.snapshot_pcre_cache()
     return alerts, scanned, telemetry
 
@@ -308,6 +336,11 @@ class DetectionEngine:
     parallel path: completed chunks spill to disk as they finish, and a
     killed scan rescans only the missing chunks on the next run.  The
     caller owns deleting the checkpoints once the surrounding run succeeds.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) records per-chunk
+    spans on the parallel path as chunk results arrive — workers cannot
+    share the parent's tracer, so their timings attach as pre-measured
+    child spans.
     """
 
     def __init__(
@@ -318,6 +351,7 @@ class DetectionEngine:
         chunk_size: Optional[int] = None,
         checkpoint_store=None,
         checkpoint_key: Optional[str] = None,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -326,6 +360,7 @@ class DetectionEngine:
         self.chunk_size = chunk_size
         self.checkpoint_store = checkpoint_store
         self.checkpoint_key = checkpoint_key
+        self.tracer = tracer
         self.stats = DetectionStats(
             telemetry=ScanTelemetry(engine=ruleset.prefilter_engine)
         )
@@ -343,6 +378,7 @@ class DetectionEngine:
             chunk_size=self.chunk_size,
             checkpoint_store=self.checkpoint_store,
             checkpoint_key=self.checkpoint_key,
+            tracer=self.tracer,
         )
         # Re-derive the counters from the merged alert stream so the stats
         # (including alerts_by_sid insertion order) match a serial pass.

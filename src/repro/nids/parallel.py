@@ -451,6 +451,7 @@ def parallel_scan(
     chunk_size: Optional[int] = None,
     checkpoint_store: Optional["CheckpointStore"] = None,
     checkpoint_key: Optional[str] = None,
+    tracer=None,
 ) -> Tuple[List[Alert], int, "ScanTelemetry"]:
     """Scan sessions across ``workers`` processes, surviving worker death.
 
@@ -464,9 +465,18 @@ def parallel_scan(
     completed chunks spill to disk as they finish and are served from disk
     on the next identically-chunked scan; the caller owns deleting the
     checkpoints once the surrounding run has fully succeeded.
+
+    With ``tracer`` (a :class:`repro.obs.Tracer`), each chunk attaches a
+    pre-measured child span to the caller's open span as its result
+    arrives — workers cannot share the parent's tracer, so chunk timings
+    cross the process boundary as telemetry and re-enter the trace here.
+    The merged telemetry's ``wall_seconds`` is measured by this parent
+    around the whole pass (summed worker clocks count concurrent work and
+    are reported as ``cpu_seconds`` instead).
     """
     from repro.nids.engine import ScanTelemetry, scan_stream
 
+    started = time.perf_counter()
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if checkpoint_store is not None and checkpoint_key is None:
@@ -482,6 +492,17 @@ def parallel_scan(
     if checkpoint_store is not None:
         checkpoints = _ChunkCheckpoints(checkpoint_store, checkpoint_key, bounds)
 
+    def _trace_chunk(index: int, result: ChunkResult, source: str) -> None:
+        if tracer is None:
+            return
+        _rows, count, chunk_telemetry = result
+        tracer.child(
+            f"chunk-{index:05d}",
+            duration=chunk_telemetry.scan_seconds,
+            sessions=count,
+            source=source,
+        )
+
     results: Dict[int, ChunkResult] = {}
     checkpoint_hits = 0
     if checkpoints is not None:
@@ -490,6 +511,7 @@ def parallel_scan(
             if hit is not None:
                 results[index] = hit
                 checkpoint_hits += 1
+                _trace_chunk(index, hit, "checkpoint")
 
     fault = _active_fault()
     abort_after = (
@@ -524,11 +546,14 @@ def parallel_scan(
             _scan_chunk, (index, attempts[index], items[start:stop])
         )
 
-    def _record(index: int, result: ChunkResult) -> None:
+    def _record(
+        index: int, result: ChunkResult, source: str = "computed"
+    ) -> None:
         nonlocal completed
         results[index] = result
         if checkpoints is not None:
             checkpoints.save(index, *result)
+        _trace_chunk(index, result, source)
         completed += 1
         if abort_after is not None and completed >= abort_after:
             raise ScanAborted(
@@ -599,7 +624,11 @@ def parallel_scan(
         chunk_alerts, count, chunk_telemetry = scan_stream(
             ruleset, items[start:stop]
         )
-        _record(index, (_encode_alerts(chunk_alerts), count, chunk_telemetry))
+        _record(
+            index,
+            (_encode_alerts(chunk_alerts), count, chunk_telemetry),
+            source="poison-serial",
+        )
 
     merged: List[Alert] = []
     scanned = 0
@@ -618,4 +647,7 @@ def parallel_scan(
         if count > 0 and index in results and index not in poison
     )
     telemetry.checkpoint_hits = checkpoint_hits
+    # Workers ran concurrently: their summed clocks are work (cpu_seconds),
+    # not elapsed time.  Elapsed time is what this parent measured.
+    telemetry.wall_seconds = time.perf_counter() - started
     return merged, scanned, telemetry

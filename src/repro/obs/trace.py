@@ -1,0 +1,210 @@
+"""Nested wall-clock span tracing.
+
+A :class:`Tracer` records where a run spent its time as a tree of
+:class:`Span` nodes: each ``with tracer.span("scan")`` block opens a child
+of the innermost open span, measures its duration on ``perf_counter``,
+carries free-form attributes, and captures any exception that escapes the
+block (recorded, then re-raised — tracing never swallows errors).
+
+Workers in a process pool cannot share the parent's tracer, so parallel
+stages *merge* instead: the parent attaches synthetic child spans
+(:meth:`Tracer.child`) built from per-chunk telemetry as chunk results
+arrive, which is how the scan's per-chunk spans survive worker boundaries.
+
+The tree serialises to JSON-native dicts (:meth:`Span.as_dict`) for the
+:class:`repro.obs.manifest.RunManifest` and renders as an indented tree
+(:func:`render_span_tree`) for ``repro trace``.
+
+Span stacks are thread-local: two threads tracing on one tracer each nest
+correctly, and completed roots are collected under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed region of a run."""
+
+    name: str
+    #: Wall-clock start (``time.time()``), for cross-run ordering.
+    started: float = 0.0
+    #: Elapsed seconds (``perf_counter`` delta; monotonic).
+    duration: float = 0.0
+    status: str = "ok"  #: ``ok`` | ``error``
+    #: ``"ExcType: message"`` when the block raised, else None.
+    error: Optional[str] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (JSON-native values only)."""
+        self.attributes[key] = value
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "started": self.started,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [child.as_dict() for child in self.children]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Span":
+        return cls(
+            name=str(record.get("name", "?")),
+            started=float(record.get("started", 0.0)),
+            duration=float(record.get("duration", 0.0)),
+            status=str(record.get("status", "ok")),
+            error=record.get("error"),  # type: ignore[arg-type]
+            attributes=dict(record.get("attributes", {})),  # type: ignore[call-overload]
+            children=[
+                cls.from_dict(child)
+                for child in record.get("children", [])  # type: ignore[union-attr]
+            ],
+        )
+
+
+class Tracer:
+    """Collects a run's span tree."""
+
+    def __init__(self) -> None:
+        self._roots: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def roots(self) -> List[Span]:
+        """Completed top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child of the current span (or a new root) around a block."""
+        node = Span(name=name, started=time.time(), attributes=dict(attributes))
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(node)
+        tick = time.perf_counter()
+        try:
+            yield node
+        except BaseException as exc:
+            node.status = "error"
+            node.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            node.duration = time.perf_counter() - tick
+            stack.pop()
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                with self._lock:
+                    self._roots.append(node)
+
+    def child(
+        self, name: str, *, duration: float = 0.0, **attributes: object
+    ) -> Span:
+        """Attach a pre-measured child span to the current span.
+
+        For work that ran elsewhere (a pool worker, a checkpoint hit) whose
+        timing arrives as data rather than being measured in-block.
+        Attached to the innermost open span, or as a root when none is open.
+        """
+        node = Span(
+            name=name,
+            started=time.time(),
+            duration=duration,
+            attributes=dict(attributes),
+        )
+        parent = self.current()
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            with self._lock:
+                self._roots.append(node)
+        return node
+
+    def tree(self) -> List[Dict[str, object]]:
+        """The completed span tree as JSON-native dicts (manifest form)."""
+        return [span.as_dict() for span in self.roots]
+
+
+def span_or_null(tracer: Optional[Tracer], name: str, **attributes: object):
+    """``tracer.span(...)`` when tracing, a no-op context otherwise.
+
+    Lets instrumented code paths (traffic generation, the scan) accept an
+    optional tracer without branching at every site.
+    """
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.span(name, **attributes)
+
+
+def _format_attributes(attributes: Dict[str, object]) -> str:
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_span_tree(
+    spans: List[Dict[str, object]], *, show_attributes: bool = True
+) -> str:
+    """Render serialised spans as an indented tree with durations.
+
+    >>> print(render_span_tree([{"name": "run", "duration": 1.5,
+    ...     "children": [{"name": "scan", "duration": 1.0}]}],
+    ...     show_attributes=False))
+    run                                                  1.500s
+      scan                                               1.000s
+    """
+    lines: List[str] = []
+
+    def walk(record: Dict[str, object], depth: int) -> None:
+        name = str(record.get("name", "?"))
+        duration = float(record.get("duration", 0.0))
+        label = "  " * depth + name
+        line = f"{label:<48} {duration:9.3f}s"
+        if record.get("status") == "error":
+            line += f"  !! {record.get('error', 'error')}"
+        lines.append(line.rstrip())
+        attributes = record.get("attributes") or {}
+        if show_attributes and attributes:
+            lines.append(
+                "  " * (depth + 1) + "· " + _format_attributes(attributes)
+            )
+        for child in record.get("children", []) or []:
+            walk(child, depth + 1)
+
+    for span in spans:
+        walk(span, 0)
+    return "\n".join(lines)

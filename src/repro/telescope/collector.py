@@ -47,6 +47,17 @@ class CollectionStats:
     def unique_source_ips(self) -> int:
         return len(self.source_ips)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Flat JSON-friendly counters (run manifests, debugging dumps)."""
+        return {
+            "arrivals_routed": self.arrivals_routed,
+            "sessions_captured": self.sessions_captured,
+            "tenancies_materialised": self.tenancies_materialised,
+            "arrivals_lost_to_preemption": self.arrivals_lost_to_preemption,
+            "unique_receiving_ips": self.unique_receiving_ips,
+            "unique_source_ips": self.unique_source_ips,
+        }
+
 
 class DscopeCollector:
     """Capture an arrival stream into a session archive."""

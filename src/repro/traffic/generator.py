@@ -293,7 +293,7 @@ class TrafficGenerator:
 
     # -- full stream ---------------------------------------------------------
 
-    def generate(self, *, workers: int = 1) -> List[ScanArrival]:
+    def generate(self, *, workers: int = 1, tracer=None) -> List[ScanArrival]:
         """The complete arrival stream, time-sorted.
 
         ``workers > 1`` generates per-CVE campaigns and background shards in
@@ -301,21 +301,35 @@ class TrafficGenerator:
         substream and shards are merged in a canonical order (campaigns in
         seed-table order, then background shards) before the final stable
         sort, so the stream is identical for any worker count.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, optional) records the
+        campaign/background/sort phases as child spans of the caller's
+        open span.
         """
+        from repro.obs import span_or_null
+
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if workers == 1:
             arrivals: List[ScanArrival] = []
-            for seed_cve in SEED_CVES:
-                arrivals.extend(self.campaign_arrivals(seed_cve))
-            exploit_count = len(arrivals)
-            background_count = int(
-                exploit_count * self.config.background_per_exploit
-            )
-            arrivals.extend(self.background_arrivals(background_count))
+            with span_or_null(tracer, "campaigns") as span:
+                for seed_cve in SEED_CVES:
+                    arrivals.extend(self.campaign_arrivals(seed_cve))
+                exploit_count = len(arrivals)
+                if span is not None:
+                    span.set("arrivals", exploit_count)
+            with span_or_null(tracer, "background") as span:
+                background_count = int(
+                    exploit_count * self.config.background_per_exploit
+                )
+                arrivals.extend(self.background_arrivals(background_count))
+                if span is not None:
+                    span.set("arrivals", background_count)
         else:
-            arrivals = self._generate_sharded(workers)
-        arrivals.sort(key=lambda arrival: arrival.timestamp)
+            with span_or_null(tracer, "sharded-generate", workers=workers):
+                arrivals = self._generate_sharded(workers)
+        with span_or_null(tracer, "sort"):
+            arrivals.sort(key=lambda arrival: arrival.timestamp)
         return arrivals
 
     def _generate_sharded(self, workers: int) -> List[ScanArrival]:

@@ -9,7 +9,9 @@ import pytest
 # re-exports shadow submodule attributes (e.g. repro.core.skill the function
 # vs repro.core.skill the module).
 MODULE_NAMES = [
+    "repro.analysis.pipeline",
     "repro.core.skill",
+    "repro.obs.trace",
     "repro.nids.rule",
     "repro.util.iputil",
     "repro.util.rng",

@@ -306,8 +306,8 @@ class TestScanRecovery:
         monkeypatch.delenv("REPRO_FAULT")
         resumed = run_study(config, cache=cache, checkpoints=checkpoints)
         # The pre-scan stages and the two finished chunks came from disk.
-        assert resumed.checkpoint_stages == ["arrivals", "store"]
-        assert resumed.scan_telemetry.checkpoint_hits == 2
+        assert resumed.telemetry.checkpoints == ["arrivals", "store"]
+        assert resumed.telemetry.scan.checkpoint_hits == 2
         assert not resumed.from_cache
         # Recovery state is deleted the moment the run succeeds...
         assert checkpoints.keys() == []

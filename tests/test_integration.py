@@ -129,14 +129,41 @@ class TestPresets:
     def test_known_presets(self):
         from repro.analysis.pipeline import StudyConfig
 
-        quick = StudyConfig.preset("quick")
-        full = StudyConfig.preset("full", seed=7)
+        quick = StudyConfig.from_preset("quick")
+        full = StudyConfig.from_preset("full", seed=7)
         assert quick.volume_scale < full.volume_scale == 1.0
         assert full.seed == 7
+
+    def test_preset_overrides_win(self):
+        from repro.analysis.pipeline import StudyConfig
+
+        tweaked = StudyConfig.from_preset("quick", volume_scale=0.5, workers=3)
+        assert tweaked.volume_scale == 0.5
+        assert tweaked.workers == 3
 
     def test_unknown_preset(self):
         from repro.analysis.pipeline import StudyConfig
         import pytest as _pytest
 
         with _pytest.raises(KeyError):
-            StudyConfig.preset("enormous")
+            StudyConfig.from_preset("enormous")
+
+    def test_positional_construction_rejected(self):
+        from repro.analysis.pipeline import StudyConfig
+        import pytest as _pytest
+
+        with _pytest.raises(TypeError):
+            StudyConfig(42)
+
+    def test_preset_alias_warns(self):
+        import warnings
+
+        from repro.analysis.pipeline import StudyConfig
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = StudyConfig.preset("quick", seed=5)
+        assert legacy == StudyConfig.from_preset("quick", seed=5)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
