@@ -16,6 +16,18 @@ tracked across PRs.  Each timing takes the best of
 swing several-fold under load, and min-of-K is the standard noise
 rejection.  Worker count defaults to 4; override with
 ``REPRO_BENCH_SCAN_WORKERS``.
+
+The parallel numbers carry their context: both ``os.cpu_count()`` and the
+*schedulable* core count (``len(os.sched_getaffinity(0))`` — containers
+routinely pin a 64-core box to 1 core) are recorded, and any row whose
+worker count exceeds the schedulable cores is annotated ``oversubscribed``
+/ ``unreliable`` — its speedup measures contention, not the transfer
+plane.  ``worker_sweep`` rows force the pool on (``threshold=0``) so the
+curve is measurable at any scale; the headline ``parallel_seconds`` runs
+under the default break-even policy and records whether it fell back to
+serial (``fallback_serial``).  ``REPRO_BENCH_VOLUME_ROW=<scale>`` adds a
+scan-only row at a different traffic scale (the issue's ``volume_scale >=
+10`` trajectory point) without paying for a full study at that scale.
 """
 
 import json
@@ -31,6 +43,23 @@ from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 SCAN_WORKERS = int(os.environ.get("REPRO_BENCH_SCAN_WORKERS", "4"))
 SCAN_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+SWEEP_WORKERS = [
+    int(part)
+    for part in os.environ.get("REPRO_BENCH_WORKER_SWEEP", "1,2,4,8").split(",")
+    if part.strip()
+]
+VOLUME_ROW_SCALE = float(os.environ.get("REPRO_BENCH_VOLUME_ROW", "0") or 0)
+
+
+def _cpu_info():
+    """(advertised cores, schedulable cores) — they differ in containers."""
+    affinity = None
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except OSError:  # pragma: no cover - affinity unsupported
+            affinity = None
+    return os.cpu_count(), affinity
 
 
 def _small_config():
@@ -119,6 +148,9 @@ def test_nids_scan_engines(study_full, results_dir):
     regex_seconds, regex_alerts, regex_stats = _best_scan(
         lambda: DetectionEngine(regex_ruleset), store, aho_alerts
     )
+    # Headline parallel row: the *default* break-even policy, so the
+    # recorded number is what a run_study(workers=N) user actually gets —
+    # including a serial fallback when the store is below break-even.
     parallel_seconds, _, parallel_stats = _best_scan(
         lambda: DetectionEngine(regex_ruleset, workers=SCAN_WORKERS),
         store,
@@ -126,11 +158,41 @@ def test_nids_scan_engines(study_full, results_dir):
     )
     assert regex_stats == aho_stats  # telemetry excluded from equality
 
+    cpu_count, cpu_affinity = _cpu_info()
+    schedulable = cpu_affinity if cpu_affinity is not None else cpu_count
+
+    def _sweep_row(workers):
+        seconds, _, stats = _best_scan(
+            lambda: DetectionEngine(regex_ruleset, workers=workers, threshold=0),
+            store,
+            aho_alerts,
+        )
+        telemetry = stats.telemetry
+        oversubscribed = schedulable is not None and workers > schedulable
+        return {
+            "workers": workers,
+            "seconds": round(seconds, 3),
+            "sessions_per_sec": round(sessions / seconds, 1),
+            "speedup": round(regex_seconds / seconds, 3),
+            "arena_bytes": telemetry.arena_bytes,
+            "arena_build_seconds": round(telemetry.arena_build_seconds, 4),
+            "transfer_seconds": round(telemetry.transfer_seconds, 4),
+            "pool_reuses": telemetry.pool_reuses,
+            "fallback_serial": telemetry.fallback_serial,
+            # More workers than schedulable cores measures contention,
+            # not the transfer plane: the speedup is not trustworthy.
+            "oversubscribed": oversubscribed,
+            "unreliable": oversubscribed,
+        }
+
+    worker_sweep = [_sweep_row(workers) for workers in SWEEP_WORKERS]
+
     payload = {
         "sessions": sessions,
         "alerts": len(regex_alerts),
         "workers": SCAN_WORKERS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "cpu_affinity": cpu_affinity,
         "repeats": SCAN_REPEATS,
         # Legacy keys: the default-engine (regex) numbers, so the trajectory
         # across PRs stays comparable.
@@ -139,8 +201,11 @@ def test_nids_scan_engines(study_full, results_dir):
         "serial_sessions_per_sec": round(sessions / regex_seconds, 1),
         "parallel_sessions_per_sec": round(sessions / parallel_seconds, 1),
         "speedup": round(regex_seconds / parallel_seconds, 3),
+        "fallback_serial": parallel_stats.telemetry.fallback_serial,
+        "arena_bytes": parallel_stats.telemetry.arena_bytes,
         "prefilter_speedup": round(aho_seconds / regex_seconds, 3),
         "volume_scale": study_full.config.volume_scale,
+        "worker_sweep": worker_sweep,
         "engines": {
             "aho": {
                 "serial_seconds": round(aho_seconds, 3),
@@ -159,6 +224,43 @@ def test_nids_scan_engines(study_full, results_dir):
             },
         },
     }
+
+    if VOLUME_ROW_SCALE > 0:
+        # Scan-only trajectory point at a different traffic scale: traffic
+        # generation + capture run once (they are not what is being timed),
+        # then serial vs default-policy parallel on the resulting store.
+        heavy_store = DscopeCollector(window=STUDY_WINDOW).collect(
+            TrafficGenerator(
+                TrafficConfig(
+                    volume_scale=VOLUME_ROW_SCALE, background_per_exploit=1.0
+                )
+            ).generate()
+        )
+        heavy_sessions = len(heavy_store)
+        heavy_serial, heavy_alerts, _ = _best_scan(
+            lambda: DetectionEngine(regex_ruleset), heavy_store
+        )
+        heavy_parallel, _, heavy_stats = _best_scan(
+            lambda: DetectionEngine(regex_ruleset, workers=SCAN_WORKERS),
+            heavy_store,
+            heavy_alerts,
+        )
+        oversubscribed = (
+            schedulable is not None and SCAN_WORKERS > schedulable
+        )
+        payload["volume_row"] = {
+            "volume_scale": VOLUME_ROW_SCALE,
+            "sessions": heavy_sessions,
+            "workers": SCAN_WORKERS,
+            "serial_seconds": round(heavy_serial, 3),
+            "parallel_seconds": round(heavy_parallel, 3),
+            "speedup": round(heavy_serial / heavy_parallel, 3),
+            "arena_bytes": heavy_stats.telemetry.arena_bytes,
+            "fallback_serial": heavy_stats.telemetry.fallback_serial,
+            "oversubscribed": oversubscribed,
+            "unreliable": oversubscribed,
+        }
+
     (results_dir / "BENCH_pipeline.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

@@ -361,6 +361,12 @@ def _build_manifest(
     if scan_telemetry is not None:
         execution["scan_wall_seconds"] = scan_telemetry.wall_seconds
         execution["scan_cpu_seconds"] = scan_telemetry.cpu_seconds
+        # Transfer-plane decisions, so a manifest explains *how* a parallel
+        # request was actually served (arena size, warm-pool reuse, or the
+        # break-even fallback to serial).
+        execution["scan_arena_bytes"] = scan_telemetry.arena_bytes
+        execution["scan_pool_reuses"] = scan_telemetry.pool_reuses
+        execution["scan_fallback_serial"] = scan_telemetry.fallback_serial
     return RunManifest(
         study={
             "key": study_key,

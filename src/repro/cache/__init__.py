@@ -21,7 +21,12 @@ from repro.cache.checkpoint import (
     CheckpointTelemetry,
 )
 from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint, digest_file
-from repro.cache.gc import GcReport, collect_garbage
+from repro.cache.gc import (
+    GcReport,
+    ShmGcReport,
+    collect_garbage,
+    collect_shm_garbage,
+)
 from repro.cache.integrity import EntryReport, is_complete_entry, verify_entry
 from repro.cache.study import (
     CACHE_SCHEMA,
@@ -43,9 +48,11 @@ __all__ = [
     "EntryReport",
     "GcReport",
     "STAGE_MODULES",
+    "ShmGcReport",
     "StudyCache",
     "code_fingerprint",
     "collect_garbage",
+    "collect_shm_garbage",
     "default_cache_root",
     "digest_file",
     "is_complete_entry",

@@ -487,6 +487,14 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
           f"{report.entries_kept} entr"
           f"{'y' if report.entries_kept == 1 else 'ies'} "
           f"({_format_bytes(report.bytes_kept)})")
+    # Orphaned scan arenas (SIGKILLed runs) squat on /dev/shm, not in the
+    # cache directory, so the same gc pass sweeps them too.
+    from repro.cache import collect_shm_garbage
+
+    shm = collect_shm_garbage()
+    print(f"orphaned shm arenas removed: {shm.segments_removed} "
+          f"({_format_bytes(shm.bytes_freed)}); live kept: "
+          f"{shm.segments_kept}")
     return 0
 
 

@@ -70,6 +70,18 @@ class ScanTelemetry:
     recovered_chunks: int = 0
     poison_chunks: int = 0
     checkpoint_hits: int = 0
+    #: Transfer-plane counters, also parallel-path only: bytes of the
+    #: shared-memory arena the workers scanned from, time spent building
+    #: it, time spent on the remaining cross-process transfer work
+    #: (ruleset pickling, result decode/merge), whether the scan reused an
+    #: already-warm worker pool instead of forking a fresh one, and
+    #: whether a parallel *request* was served serially because the stream
+    #: fell below the break-even threshold.
+    arena_bytes: int = 0
+    arena_build_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    pool_reuses: int = 0
+    fallback_serial: int = 0
     #: Snapshot of the pcre compile cache (hits, misses, maxsize, currsize)
     #: taken when the scan finishes — eviction churn shows up as misses
     #: exceeding the distinct-pattern count.
@@ -122,6 +134,11 @@ class ScanTelemetry:
         self.recovered_chunks += other.recovered_chunks
         self.poison_chunks += other.poison_chunks
         self.checkpoint_hits += other.checkpoint_hits
+        self.arena_bytes += other.arena_bytes
+        self.arena_build_seconds += other.arena_build_seconds
+        self.transfer_seconds += other.transfer_seconds
+        self.pool_reuses += other.pool_reuses
+        self.fallback_serial += other.fallback_serial
         if other.pcre_cache is not None:
             self.pcre_cache = other.pcre_cache
 
@@ -153,6 +170,11 @@ class ScanTelemetry:
             "recovered_chunks": self.recovered_chunks,
             "poison_chunks": self.poison_chunks,
             "checkpoint_hits": self.checkpoint_hits,
+            "arena_bytes": self.arena_bytes,
+            "arena_build_seconds": self.arena_build_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "pool_reuses": self.pool_reuses,
+            "fallback_serial": self.fallback_serial,
             "pcre_cache": self.pcre_cache,
         }
 
@@ -175,6 +197,11 @@ class ScanTelemetry:
         "recovered_chunks",
         "poison_chunks",
         "checkpoint_hits",
+        "arena_bytes",
+        "arena_build_seconds",
+        "transfer_seconds",
+        "pool_reuses",
+        "fallback_serial",
     )
 
     @classmethod
@@ -341,6 +368,13 @@ class DetectionEngine:
     spans on the parallel path as chunk results arrive — workers cannot
     share the parent's tracer, so their timings attach as pre-measured
     child spans.
+
+    ``transfer`` and ``threshold`` tune the parallel data plane (see
+    :func:`repro.nids.parallel.parallel_scan`): the transfer plane
+    (``arena`` default / ``pickle`` legacy) and the break-even stream size
+    below which a parallel request runs serially anyway (``threshold=0``
+    forces the pool on).  Both default to their environment knobs
+    (``REPRO_TRANSFER``, ``REPRO_PARALLEL_THRESHOLD``).
     """
 
     def __init__(
@@ -352,6 +386,8 @@ class DetectionEngine:
         checkpoint_store=None,
         checkpoint_key: Optional[str] = None,
         tracer=None,
+        transfer: Optional[str] = None,
+        threshold: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -361,6 +397,8 @@ class DetectionEngine:
         self.checkpoint_store = checkpoint_store
         self.checkpoint_key = checkpoint_key
         self.tracer = tracer
+        self.transfer = transfer
+        self.threshold = threshold
         self.stats = DetectionStats(
             telemetry=ScanTelemetry(engine=ruleset.prefilter_engine)
         )
@@ -379,6 +417,8 @@ class DetectionEngine:
             checkpoint_store=self.checkpoint_store,
             checkpoint_key=self.checkpoint_key,
             tracer=self.tracer,
+            transfer=self.transfer,
+            threshold=self.threshold,
         )
         # Re-derive the counters from the merged alert stream so the stats
         # (including alerts_by_sid insertion order) match a serial pass.

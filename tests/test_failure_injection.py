@@ -154,8 +154,12 @@ class TestScanRecovery:
         ruleset = build_study_ruleset()
         sessions = list(store)
         alerts, scanned, _ = scan_stream(ruleset, sessions)
+        # threshold=0 forces the pool on: this world is far below the
+        # break-even size, and serial fallback would make every recovery
+        # assertion vacuous.  (Explicit here because class-scoped fixtures
+        # run before the function-scoped env monkeypatch below.)
         clean_alerts, clean_scanned, clean_telemetry = parallel_scan(
-            ruleset, sessions, workers=2
+            ruleset, sessions, workers=2, threshold=0
         )
         assert clean_alerts == alerts and clean_scanned == scanned
         return ruleset, sessions, alerts, scanned, clean_telemetry
@@ -163,6 +167,7 @@ class TestScanRecovery:
     @pytest.fixture(autouse=True)
     def _deterministic_recovery(self, monkeypatch):
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
         monkeypatch.delenv("REPRO_FAULT", raising=False)
 
     def _assert_identical(self, world, outcome):

@@ -390,7 +390,10 @@ class TestPipelineObservability:
             stage = next(c for c in root["children"] if c["name"] == name)
             assert stage["attributes"]["source"] == "cache"
 
-    def test_serial_and_parallel_agree(self, tmp_path):
+    def test_serial_and_parallel_agree(self, tmp_path, monkeypatch):
+        # Force the pool on: the tiny store is below the break-even size
+        # and the chunk-span assertions need real chunks.
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
         serial = run_study(_tiny_config(), cache=tmp_path / "a")
         parallel = run_study(
             _tiny_config(workers=2), cache=tmp_path / "b"

@@ -52,6 +52,12 @@ def seeded_world(request):
 
 
 class TestParallelScanEquivalence:
+    @pytest.fixture(autouse=True)
+    def _force_pool(self, monkeypatch):
+        # These worlds are far below the break-even size; without this the
+        # serial fallback would make every equivalence here vacuous.
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_alerts_and_stats_identical(self, seeded_world, workers):
         _, _, store, ruleset, serial_alerts, serial_stats = seeded_world

@@ -53,7 +53,9 @@ class TestScanEquivalence:
         reference_alerts = reference.scan(study.store)
         for engine_name in ("regex", "aho"):
             ruleset = build_study_ruleset(prefilter=engine_name)
-            parallel = DetectionEngine(ruleset, workers=4)
+            # threshold=0: the shared study store is below the break-even
+            # size, and a serial fallback would make this test vacuous.
+            parallel = DetectionEngine(ruleset, workers=4, threshold=0)
             assert parallel.scan(study.store) == reference_alerts
             assert parallel.stats == reference.stats
             assert list(parallel.stats.alerts_by_sid.items()) == list(
@@ -113,7 +115,7 @@ class TestScanTelemetry:
         serial = DetectionEngine(build_study_ruleset(prefilter="regex"))
         serial.scan(study.store)
         parallel = DetectionEngine(
-            build_study_ruleset(prefilter="regex"), workers=4
+            build_study_ruleset(prefilter="regex"), workers=4, threshold=0
         )
         parallel.scan(study.store)
         merged = parallel.stats.telemetry
