@@ -31,7 +31,7 @@ import warnings
 from dataclasses import dataclass, field
 from datetime import timedelta
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cache import CacheTelemetry, CheckpointStore, StudyCache
@@ -262,6 +262,60 @@ class StudyResult:
             kept.extend(group)
         kept.sort(key=lambda event: event.timestamp)
         return kept
+
+
+@dataclass
+class AnalysisOutputs:
+    """Stages 5–6 of the pipeline: what the alerts *mean*.
+
+    Produced by :func:`derive_analysis`, shared by the batch pipeline and
+    the streaming :class:`repro.analysis.streaming.IncrementalStudy` so the
+    two paths cannot drift.
+    """
+
+    events: List[ExploitEvent]
+    events_per_cve: Dict[str, List[ExploitEvent]]
+    rca_decisions: List[RcaDecision]
+    timelines: Dict[str, CveTimeline]
+
+
+def derive_analysis(
+    bundle: DatasetBundle,
+    alerts: List[Alert],
+    payloads: Union[SessionStore, Mapping[int, bytes]],
+    *,
+    tracer: Optional[Tracer] = None,
+) -> AnalysisOutputs:
+    """Run exploit-event extraction, RCA pruning, and timeline assembly.
+
+    ``payloads`` supplies session payloads for root-cause analysis: the
+    full :class:`SessionStore` on the batch path, or a session_id →
+    payload mapping covering the alerted sessions on the streaming path
+    (RCA never reads payloads of unalerted sessions).
+    """
+    from repro.obs import span_or_null
+
+    with span_or_null(tracer, "extract") as span:
+        events = events_from_alerts(alerts)
+        grouped = events_by_cve(events)
+        rca = RootCauseAnalysis(payloads)
+        kept, decisions = rca.filter(grouped)
+        if span is not None:
+            span.set("events", len(events))
+            span.set("kept_cves", len(kept))
+
+    with span_or_null(tracer, "timelines") as span:
+        kept_events = [event for group in kept.values() for event in group]
+        timelines = assemble_timelines(bundle, first_attacks(kept_events))
+        if span is not None:
+            span.set("timelines", len(timelines))
+
+    return AnalysisOutputs(
+        events=events,
+        events_per_cve=kept,
+        rca_decisions=decisions,
+        timelines=timelines,
+    )
 
 
 def _resolve_cache(cache: "CacheLike") -> Optional["StudyCache"]:
@@ -574,20 +628,13 @@ def run_study(
                 # the caller's hands); recovery state has served its purpose.
                 checkpoint_store.delete(study_key)
 
-        # Stage 5: exploit-event extraction and root-cause analysis.
-        with tracer.span("extract") as span:
-            events = events_from_alerts(alerts)
-            grouped = events_by_cve(events)
-            rca = RootCauseAnalysis(store)
-            kept, decisions = rca.filter(grouped)
-            span.set("events", len(events))
-            span.set("kept_cves", len(kept))
-
-        # Stage 6: per-CVE timeline assembly.
-        with tracer.span("timelines") as span:
-            kept_events = [event for group in kept.values() for event in group]
-            timelines = assemble_timelines(bundle, first_attacks(kept_events))
-            span.set("timelines", len(timelines))
+        # Stages 5-6: event extraction, RCA pruning, timeline assembly —
+        # shared with the streaming path (repro.analysis.streaming).
+        analysis = derive_analysis(bundle, alerts, store, tracer=tracer)
+        events = analysis.events
+        kept = analysis.events_per_cve
+        decisions = analysis.rca_decisions
+        timelines = analysis.timelines
 
     # Publish this run's telemetry into its registry (and fold the snapshot
     # into the process-wide one), then freeze everything into the manifest.

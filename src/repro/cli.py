@@ -4,6 +4,8 @@ Subcommands::
 
     repro run         run the full study pipeline, print the headline
                       results, optionally export artifacts to a directory
+    repro watch       tail the arrival stream window by window: incremental
+                      study state, live A<P rate, rolling manifests
     repro experiment  regenerate one paper table/figure (see `repro list`)
     repro report      per-CVE lifecycle dossier from a study run
     repro trace       render a run manifest's span tree (where time went)
@@ -28,6 +30,7 @@ import argparse
 import json
 import sys
 import time
+from datetime import timedelta
 from pathlib import Path
 from typing import List, Optional
 
@@ -91,15 +94,19 @@ def study_parent() -> argparse.ArgumentParser:
     return parent
 
 
-def _study(args: argparse.Namespace) -> StudyResult:
+def _study_config(args: argparse.Namespace) -> StudyConfig:
+    """The StudyConfig a subcommand's flags describe (run and watch agree)."""
     overrides = {"seed": args.seed, "workers": args.workers}
     if args.scale is not None:
         overrides["volume_scale"] = args.scale
     if args.preset is not None:
-        config = StudyConfig.from_preset(args.preset, **overrides)
-    else:
-        overrides.setdefault("volume_scale", 0.05)
-        config = StudyConfig(background_nvd_count=5000, **overrides)
+        return StudyConfig.from_preset(args.preset, **overrides)
+    overrides.setdefault("volume_scale", 0.05)
+    return StudyConfig(background_nvd_count=5000, **overrides)
+
+
+def _study(args: argparse.Namespace) -> StudyResult:
+    config = _study_config(args)
     cache = None
     if args.cache:
         from repro.cache import StudyCache
@@ -150,6 +157,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
         out.mkdir(parents=True, exist_ok=True)
         _export_artifacts(result, out)
         print(f"\nartifacts written to {out}/")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.analysis.streaming import watch_study
+
+    config = _study_config(args)
+    manifest_dir = args.out
+    if manifest_dir is None:
+        from repro.cache import default_cache_root
+        from repro.obs import manifests_root
+
+        manifest_dir = manifests_root(args.cache_dir or default_cache_root())
+    window_span = timedelta(days=args.window_days)
+    if window_span <= timedelta(0):
+        print("error: --window-days must be positive", file=sys.stderr)
+        return 2
+    report = None
+    for report in watch_study(
+        config,
+        window_span=window_span,
+        max_windows=args.max_windows,
+        manifest_dir=manifest_dir,
+    ):
+        snapshot = report.snapshot
+        rate = snapshot.a_before_p_rate
+        if args.json:
+            # One JSON object per window (JSONL), streamed as it happens.
+            print(json.dumps({
+                "window": report.index,
+                "start": report.start.isoformat(),
+                "end": report.end.isoformat(),
+                "final": report.final,
+                "window_sessions": report.sessions,
+                "window_alerts": report.alerts,
+                "sessions": snapshot.sessions_seen,
+                "alerts": len(snapshot.alerts),
+                "events": len(snapshot.events),
+                "kept_cves": snapshot.kept_cves,
+                "a_before_p_rate": rate,
+                "cursor": report.cursor,
+                "manifest": (
+                    str(report.manifest_path)
+                    if report.manifest_path is not None else None
+                ),
+            }, sort_keys=True), flush=True)
+        else:
+            rate_text = f"{rate:.2f}" if rate is not None else "n/a"
+            print(
+                f"window {report.index:>4} "
+                f"[{report.start:%Y-%m-%d} .. {report.end:%Y-%m-%d})  "
+                f"+{report.sessions:>6} sessions  +{report.alerts:>5} alerts"
+                f"  |  cumulative: {snapshot.sessions_seen:,} sessions, "
+                f"{len(snapshot.alerts):,} alerts, "
+                f"{len(snapshot.events):,} events, "
+                f"{len(snapshot.kept_cves)} CVEs  |  A<P {rate_text}",
+                flush=True,
+            )
+    if report is None:
+        print("no windows produced", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"\nrolling manifests under {manifest_dir}/")
     return 0
 
 
@@ -624,6 +694,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--out", help="directory for exported artifacts")
     run_parser.set_defaults(func=_cmd_run)
+
+    watch_parser = subparsers.add_parser(
+        "watch", parents=[common, study],
+        help="tail the arrival stream; incremental study per window",
+    )
+    watch_parser.add_argument(
+        "--window-days", type=float, default=7.0, metavar="DAYS",
+        help="arrival window span in days (default 7)",
+    )
+    watch_parser.add_argument(
+        "--max-windows", type=_positive_int, default=None, metavar="N",
+        help="stop after N windows (default: run the stream out)",
+    )
+    watch_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="rolling manifest directory "
+             "(default <cache root>/manifests)",
+    )
+    watch_parser.set_defaults(func=_cmd_watch)
 
     experiment_parser = subparsers.add_parser(
         "experiment", parents=[common, study],

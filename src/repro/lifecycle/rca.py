@@ -17,7 +17,7 @@ survive because their payloads carry injection structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.lifecycle.exploit_events import ExploitEvent
 from repro.net.pcapstore import SessionStore
@@ -104,16 +104,23 @@ class RootCauseAnalysis:
 
     def __init__(
         self,
-        store: SessionStore,
+        payloads: Union[SessionStore, Mapping[int, bytes]],
         *,
         exploit_threshold: float = 0.5,
         leading_sample: int = 50,
     ) -> None:
         if not 0.0 < exploit_threshold <= 1.0:
             raise ValueError("exploit_threshold must be in (0, 1]")
-        self._payloads: Dict[int, bytes] = {
-            session.session_id: session.payload for session in store
-        }
+        if isinstance(payloads, SessionStore):
+            # Batch path: index the full archive.
+            self._payloads: Dict[int, bytes] = {
+                session.session_id: session.payload for session in payloads
+            }
+        else:
+            # Streaming path: a session_id -> payload mapping covering (at
+            # least) the alerted sessions — RCA only ever inspects payloads
+            # of attributed events, so the full archive is unnecessary.
+            self._payloads = dict(payloads)
         self.exploit_threshold = exploit_threshold
         self.leading_sample = leading_sample
 

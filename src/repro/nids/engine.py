@@ -245,6 +245,18 @@ class DetectionStats:
             self.pre_publication_alerts += 1
         self.alerts_by_sid[alert.sid] = self.alerts_by_sid.get(alert.sid, 0) + 1
 
+    def replay(self, alerts: Iterable[Alert], *, sessions_scanned: int) -> None:
+        """Re-derive counters from an already-scanned alert stream.
+
+        Used wherever alerts arrive pre-computed — the merged output of a
+        parallel pass, or a streaming consumer folding in one window at a
+        time — and must be accounted exactly as a serial :meth:`record`
+        loop would (including ``alerts_by_sid`` insertion order).
+        """
+        self.sessions_scanned += sessions_scanned
+        for alert in alerts:
+            self.record(alert)
+
 
 def scan_stream(
     ruleset: Ruleset, sessions: Iterable[TcpSession]
@@ -422,17 +434,13 @@ class DetectionEngine:
         )
         # Re-derive the counters from the merged alert stream so the stats
         # (including alerts_by_sid insertion order) match a serial pass.
-        self.stats.sessions_scanned += scanned
-        for alert in alerts:
-            self.stats.record(alert)
+        self.stats.replay(alerts, sessions_scanned=scanned)
         self.stats.telemetry.merge(telemetry)
         return alerts
 
     def _scan_serial(self, sessions: Iterable[TcpSession]) -> List[Alert]:
         alerts, scanned, telemetry = scan_stream(self.ruleset, sessions)
-        self.stats.sessions_scanned += scanned
-        for alert in alerts:
-            self.stats.record(alert)
+        self.stats.replay(alerts, sessions_scanned=scanned)
         self.stats.telemetry.merge(telemetry)
         return alerts
 

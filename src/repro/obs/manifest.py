@@ -187,15 +187,24 @@ def manifests_root(cache_root: Union[str, Path]) -> Path:
     return Path(cache_root) / "manifests"
 
 
-def latest_manifest(cache_root: Union[str, Path]) -> Optional[Path]:
-    """The most recently written manifest under a cache root, if any."""
+def latest_manifest(
+    cache_root: Union[str, Path], *, prefix: str = ""
+) -> Optional[Path]:
+    """The most recently written manifest under a cache root, if any.
+
+    ``prefix`` narrows the search by filename — e.g. ``prefix="watch-"``
+    picks out only the rolling per-window manifests a ``repro watch``
+    daemon emits, ignoring batch run manifests sharing the directory.
+    """
     root = manifests_root(cache_root)
     if not root.is_dir():
         return None
     candidates = [
         path
         for path in root.iterdir()
-        if path.name.endswith(".json") and ".tmp" not in path.name
+        if path.name.endswith(".json")
+        and ".tmp" not in path.name
+        and path.name.startswith(prefix)
     ]
     if not candidates:
         return None

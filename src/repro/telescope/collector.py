@@ -7,6 +7,17 @@ lockstep.  Instances are materialised lazily — only tenancies that actually
 receive traffic are simulated at the packet level — while fleet-level
 statistics (unique IPs, tenancy counts) are computed analytically, exactly
 as a 2-year 5M-IP deployment must be on one machine.
+
+Capture comes in two shapes sharing one routing core (:meth:`feed` /
+:meth:`flush`):
+
+* :meth:`DscopeCollector.collect` — the batch path: consume the whole
+  stream, return the full :class:`SessionStore`;
+* :meth:`DscopeCollector.collect_windows` — the streaming path: consume the
+  stream one arrival window at a time, yielding each window's *finished*
+  sessions as their tenancies close.  Tenancies still open at a window
+  boundary carry over; concatenating every window's sessions reproduces the
+  batch capture byte-for-byte (same session ids, same order, same stats).
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.net.pcapstore import SessionStore
 from repro.net.session import TcpSession
@@ -40,7 +51,12 @@ class CollectionStats:
     @property
     def unique_receiving_ips(self) -> int:
         """Telescope IPs that received at least one analysed arrival
-        (paper: 105k of 5M for exploit traffic)."""
+        (paper: 105k of 5M for exploit traffic).
+
+        An IP counts only when a live tenancy actually accepted an arrival;
+        a tenancy whose every arrival was lost to preemption never received
+        anything analysable.
+        """
         return len(self.receiving_ips)
 
     @property
@@ -57,6 +73,27 @@ class CollectionStats:
             "unique_receiving_ips": self.unique_receiving_ips,
             "unique_source_ips": self.unique_source_ips,
         }
+
+
+@dataclass(frozen=True)
+class CaptureWindow:
+    """One arrival window's output on the streaming capture path.
+
+    ``sessions`` holds the sessions whose tenancies *closed* during this
+    window (plus, on the final window, everything flushed at end of
+    stream) — not the sessions whose traffic arrived in it; a tenancy
+    closes lazily when its slot is re-materialised or the fleet sweeps
+    expired instances, so a session may surface a window or two after its
+    traffic.  ``arrivals`` counts in-study-window arrivals whose timestamps
+    fell inside this window.
+    """
+
+    index: int
+    start: datetime
+    end: datetime
+    sessions: List[TcpSession]
+    arrivals: int
+    final: bool = False
 
 
 class DscopeCollector:
@@ -77,6 +114,12 @@ class DscopeCollector:
         #: Populated during collect(); for validation only — the detection
         #: pipeline never consults it.
         self.ground_truth: Dict[int, Optional[str]] = {}
+        # Streaming state (one in-flight stream at a time); reset by
+        # _begin_stream() at the start of each collect/collect_windows call.
+        self._routing_rng = None
+        self._live: Dict[Tuple[int, int], TelescopeInstance] = {}
+        self._last_time: Optional[datetime] = None
+        self.arrivals_fed = 0
 
     # -- fleet geometry ----------------------------------------------------
 
@@ -144,6 +187,82 @@ class DscopeCollector:
 
     # -- capture -------------------------------------------------------------
 
+    def _begin_stream(self) -> None:
+        """Reset per-stream routing state (stats and session ids continue)."""
+        self._routing_rng = derive_rng(self.config.seed, "routing")
+        self._live = {}
+        self._last_time = None
+        #: Arrivals fed so far this stream — the resumable cursor: after a
+        #: window yields, ``TrafficGenerator.stream(cursor=arrivals_fed)``
+        #: continues with exactly the next unprocessed arrival.
+        self.arrivals_fed = 0
+
+    def _finish(self, instance: TelescopeInstance) -> List[TcpSession]:
+        """Tear a tenancy down: id-stamp and account its captured sessions."""
+        finished: List[TcpSession] = []
+        sessions = instance.teardown()
+        for session, truth in zip(sessions, instance.truths()):
+            stamped = dataclasses.replace(
+                session, session_id=self._next_session_id
+            )
+            finished.append(stamped)
+            self.ground_truth[self._next_session_id] = truth
+            self._next_session_id += 1
+            self.stats.sessions_captured += 1
+        return finished
+
+    def feed(self, arrival: ScanArrival) -> List[TcpSession]:
+        """Route one arrival; returns the sessions this step finished.
+
+        The incremental core shared by :meth:`collect` and
+        :meth:`collect_windows`.  Feeding an arrival may close other
+        tenancies (the slot being re-materialised, or instances whose
+        lifetime expired) — their sessions are returned, id-stamped, as
+        they would have been appended by the batch path.
+        """
+        if self._last_time is not None and arrival.timestamp < self._last_time:
+            raise ValueError("arrival stream is not time-sorted")
+        self._last_time = arrival.timestamp
+        self.arrivals_fed += 1
+        if not self.window.contains(arrival.timestamp):
+            return []
+        finished: List[TcpSession] = []
+        slot = int(self._routing_rng.integers(0, self.config.concurrent_instances))
+        epoch, _ = self.tenancy_for(slot, arrival.timestamp)
+        key = (slot, epoch)
+        instance = self._live.get(key)
+        if instance is None:
+            stale = [
+                k for k, inst in self._live.items()
+                if k[0] == slot or inst.end <= arrival.timestamp
+            ]
+            for k in stale:
+                finished.extend(self._finish(self._live.pop(k)))
+            instance = self.instance_for(slot, arrival.timestamp)
+            self._live[key] = instance
+            self.stats.tenancies_materialised += 1
+        if not instance.is_live(arrival.timestamp):
+            # The tenancy was preempted before this arrival: the address
+            # is dark until the slot's next epoch, and the connection
+            # attempt is simply lost.
+            self.stats.arrivals_lost_to_preemption += 1
+            return finished
+        instance.receive(arrival)
+        self.stats.arrivals_routed += 1
+        # The IP counts as receiving only now: a tenancy whose every
+        # arrival was preempted away never received analysable traffic.
+        self.stats.receiving_ips.add(instance.ip)
+        self.stats.source_ips.add(arrival.src_ip)
+        return finished
+
+    def flush(self) -> List[TcpSession]:
+        """End the stream: tear down every live tenancy, in routing order."""
+        finished: List[TcpSession] = []
+        live, self._live = self._live, {}
+        for instance in live.values():
+            finished.extend(self._finish(instance))
+        return finished
+
     def collect(self, arrivals: Iterable[ScanArrival]) -> SessionStore:
         """Route arrivals through instances; returns the session archive.
 
@@ -152,52 +271,74 @@ class DscopeCollector:
         slot's current tenancy is materialised on demand, and finished
         tenancies are torn down as time advances.
         """
-        rng = derive_rng(self.config.seed, "routing")
+        self._begin_stream()
         store = SessionStore()
-        live: Dict[Tuple[int, int], TelescopeInstance] = {}
-        last_time: Optional[datetime] = None
-
-        def finish(instance: TelescopeInstance) -> None:
-            sessions = instance.teardown()
-            for session, truth in zip(sessions, instance.truths()):
-                store.append(
-                    dataclasses.replace(session, session_id=self._next_session_id)
-                )
-                self.ground_truth[self._next_session_id] = truth
-                self._next_session_id += 1
-                self.stats.sessions_captured += 1
-
         for arrival in arrivals:
-            if last_time is not None and arrival.timestamp < last_time:
-                raise ValueError("arrival stream is not time-sorted")
-            last_time = arrival.timestamp
-            if not self.window.contains(arrival.timestamp):
-                continue
-            slot = int(rng.integers(0, self.config.concurrent_instances))
-            epoch, _ = self.tenancy_for(slot, arrival.timestamp)
-            key = (slot, epoch)
-            instance = live.get(key)
-            if instance is None:
-                stale = [
-                    k for k, inst in live.items()
-                    if k[0] == slot or inst.end <= arrival.timestamp
-                ]
-                for k in stale:
-                    finish(live.pop(k))
-                instance = self.instance_for(slot, arrival.timestamp)
-                live[key] = instance
-                self.stats.tenancies_materialised += 1
-                self.stats.receiving_ips.add(instance.ip)
-            if not instance.is_live(arrival.timestamp):
-                # The tenancy was preempted before this arrival: the address
-                # is dark until the slot's next epoch, and the connection
-                # attempt is simply lost.
-                self.stats.arrivals_lost_to_preemption += 1
-                continue
-            instance.receive(arrival)
-            self.stats.arrivals_routed += 1
-            self.stats.source_ips.add(arrival.src_ip)
-
-        for instance in live.values():
-            finish(instance)
+            store.extend(self.feed(arrival))
+        store.extend(self.flush())
         return store
+
+    def collect_windows(
+        self,
+        arrivals: Iterable[ScanArrival],
+        *,
+        span: timedelta,
+        max_windows: Optional[int] = None,
+    ) -> Iterator[CaptureWindow]:
+        """Capture the stream one arrival window at a time.
+
+        Windows partition the study window into fixed ``span`` slices
+        anchored at ``window.start``; an arrival belongs to the window
+        containing its timestamp.  Each :class:`CaptureWindow` carries the
+        sessions that finished while its arrivals were being routed — the
+        concatenation across all windows is byte-identical to
+        :meth:`collect` over the same stream (same ids, order, stats,
+        ground truth), but no more than one window's working set is held
+        beyond the live tenancy table.  Quiet windows are yielded empty so
+        downstream consumers see a steady cadence.
+
+        ``max_windows`` truncates the stream after that many windows (the
+        final window still flushes whatever closed by then) — the bounded
+        tail for smoke tests and ``repro watch --max-windows``.
+        """
+        if span <= timedelta(0):
+            raise ValueError("window span must be positive")
+        self._begin_stream()
+        base = self.window.start
+        index = 0
+        finished: List[TcpSession] = []
+        seen = 0
+
+        def close(idx: int, final: bool) -> CaptureWindow:
+            return CaptureWindow(
+                index=idx,
+                start=base + idx * span,
+                end=base + (idx + 1) * span,
+                sessions=finished,
+                arrivals=seen,
+                final=final,
+            )
+
+        truncated = False
+        for arrival in arrivals:
+            target: Optional[int] = None
+            if self.window.contains(arrival.timestamp):
+                target = int((arrival.timestamp - base) // span)
+            if target is not None and target > index:
+                while index < target:
+                    if (
+                        max_windows is not None
+                        and index + 1 >= max_windows
+                    ):
+                        truncated = True
+                        break
+                    yield close(index, final=False)
+                    finished, seen = [], 0
+                    index += 1
+                if truncated:
+                    break
+            finished.extend(self.feed(arrival))
+            if target is not None:
+                seen += 1
+        finished.extend(self.flush())
+        yield close(index, final=True)

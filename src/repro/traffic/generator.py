@@ -332,6 +332,56 @@ class TrafficGenerator:
             arrivals.sort(key=lambda arrival: arrival.timestamp)
         return arrivals
 
+    def stream(self, *, cursor: int = 0) -> Iterator[ScanArrival]:
+        """The complete arrival stream as a time-ordered generator.
+
+        Yields exactly the arrivals :meth:`generate` returns, in exactly its
+        order: each component (one list per CVE campaign in seed-table
+        order, then one per background shard) is stably sorted by timestamp
+        and the components are merged with :func:`heapq.merge`, whose
+        tie-break — earlier iterable first — reproduces the batch path's
+        single stable sort over the concatenation byte-for-byte.
+
+        ``cursor`` resumes mid-stream: ``stream(cursor=k)`` yields the
+        suffix starting at the k-th arrival (0-based) of the identical
+        regenerated stream, so a consumer that remembers how many arrivals
+        it has processed can pick up where it stopped after a restart.
+
+        Memory honesty: the synthetic source must materialise each
+        component list to sort it (the temporal models draw whole
+        campaigns), so *this* generator holds the same arrivals a batch
+        generate does.  What streaming bounds is everything downstream —
+        capture, scan, and analysis never hold more than one window's
+        working set.  A real packet tap would replace this method and make
+        the bound end-to-end.
+        """
+        import heapq
+        from itertools import islice
+
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        by_time = lambda arrival: arrival.timestamp  # noqa: E731
+        components: List[List[ScanArrival]] = []
+        exploit_count = 0
+        for seed_cve in SEED_CVES:
+            arrivals = self.campaign_arrivals(seed_cve)
+            arrivals.sort(key=by_time)
+            exploit_count += len(arrivals)
+            components.append(arrivals)
+        background_count = int(
+            exploit_count * self.config.background_per_exploit
+        )
+        for shard in range(self.config.background_shards):
+            shard_arrivals = self.background_shard_arrivals(
+                shard, background_count
+            )
+            shard_arrivals.sort(key=by_time)
+            components.append(shard_arrivals)
+        merged: Iterator[ScanArrival] = heapq.merge(*components, key=by_time)
+        if cursor:
+            merged = islice(merged, cursor, None)
+        return merged
+
     def _generate_sharded(self, workers: int) -> List[ScanArrival]:
         """Fan shard tasks out to a process pool; merge in canonical order.
 

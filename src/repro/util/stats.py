@@ -97,6 +97,16 @@ def bin_counts(
     [0.0, 0.1, 0.2, 0.3, 0.4]
     >>> bin_counts([0.999999], bin_width=0.1, lo=0.0, hi=1.0)[-1]
     (0.9, 1)
+
+    When ``bin_width`` does not divide ``hi - lo``, the leftover tail gets a
+    final *partial* bin covering ``[lo + floor(span)*width, hi)`` — every
+    value passing the ``[lo, hi)`` filter is counted somewhere, rather than
+    silently vanishing past the last full edge.  (Partial over clamped: a
+    clamped last bin would mislabel its population as ending a full width
+    earlier than it does.)
+
+    >>> bin_counts([9.5], bin_width=3.0, lo=0.0, hi=10.0)
+    [(0.0, 0), (3.0, 0), (6.0, 0), (9.0, 1)]
     """
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
@@ -106,12 +116,17 @@ def bin_counts(
     # exact binary representation (its last edge can fall short of hi,
     # silently dropping in-range values near the top).  Derive an integer
     # bin count instead and let linspace divide [lo, hi] exactly; a
-    # non-dividing width keeps its natural floor(range / width) bins.
+    # non-dividing width keeps its floor(range / width) full bins plus one
+    # partial bin reaching hi.
     span = (hi - lo) / bin_width
     divides = abs(span - round(span)) < 1e-9
     n_bins = max(1, round(span) if divides else int(span))
     top = hi if divides else lo + n_bins * bin_width
     edges = np.linspace(lo, top, n_bins + 1)
+    if top < hi:
+        # A width wider than the whole range (n_bins forced to 1) already
+        # covers [lo, hi); otherwise emit the partial tail bin [top, hi).
+        edges = np.append(edges, hi)
     data = np.asarray(list(values), dtype=float)
     data = data[(data >= lo) & (data < hi)]
     counts, _ = np.histogram(data, bins=edges)

@@ -257,3 +257,105 @@ class TestPreemption:
         assert instance.was_preempted
         assert instance.end == WINDOW.start + _td(minutes=4)
         assert not instance.is_live(WINDOW.start + _td(minutes=5))
+
+    def test_fully_preempted_tenancies_never_count_as_receiving(self):
+        # Regression: receiving_ips used to be stamped at tenancy
+        # materialisation, *before* the is_live preemption check — an IP
+        # whose only arrivals were lost to preemption still counted as
+        # "received at least one analysed arrival", inflating
+        # unique_receiving_ips against its own docstring.
+        config = TelescopeConfig(
+            concurrent_instances=1, preemption_rate=0.999, seed=7
+        )
+        collector = DscopeCollector(config, window=WINDOW)
+        lifetime = config.instance_lifetime
+        # Land every arrival in the last 3% of its tenancy: preemption cuts
+        # tenancies at 20-95% of a lifetime, so (at this rate) every one of
+        # these arrivals is lost.
+        arrivals = [
+            ScanArrival(
+                timestamp=WINDOW.start + k * lifetime + 0.97 * lifetime,
+                src_ip=k, src_port=50000, dst_port=80, payload=b"X",
+            )
+            for k in range(5)
+        ]
+        collector.collect(arrivals)
+        stats = collector.stats
+        assert stats.tenancies_materialised == 5
+        assert stats.arrivals_lost_to_preemption == 5
+        assert stats.arrivals_routed == 0
+        assert stats.unique_receiving_ips == 0  # pre-fix: 5
+
+    def test_received_arrival_still_counts_receiving_ip(self):
+        config = TelescopeConfig(
+            concurrent_instances=1, preemption_rate=0.999, seed=7
+        )
+        collector = DscopeCollector(config, window=WINDOW)
+        lifetime = config.instance_lifetime
+        lost = [
+            ScanArrival(
+                timestamp=WINDOW.start + k * lifetime + 0.97 * lifetime,
+                src_ip=k, src_port=50000, dst_port=80, payload=b"X",
+            )
+            for k in range(5)
+        ]
+        received = ScanArrival(
+            timestamp=WINDOW.start + 10 * lifetime + 0.01 * lifetime,
+            src_ip=99, src_port=50000, dst_port=80, payload=b"X",
+        )
+        collector.collect(lost + [received])
+        assert collector.stats.arrivals_routed == 1
+        assert collector.stats.unique_receiving_ips == 1
+
+
+class TestCollectWindows:
+    def _config(self):
+        return TelescopeConfig(
+            concurrent_instances=4, preemption_rate=0.3, seed=5
+        )
+
+    def test_concatenated_windows_equal_batch_capture(self):
+        arrivals = [_arrival(m) for m in range(0, 720, 3)]
+        batch = DscopeCollector(self._config(), window=WINDOW)
+        batch_store = batch.collect(arrivals)
+        streaming = DscopeCollector(self._config(), window=WINDOW)
+        windows = list(
+            streaming.collect_windows(arrivals, span=timedelta(hours=2))
+        )
+        merged = [s for w in windows for s in w.sessions]
+        # Same sessions with the same ids — the store iterates in
+        # (start, session_id) order, windows in tenancy-finish order.
+        key = lambda s: (s.start, s.session_id)  # noqa: E731
+        assert sorted(merged, key=key) == list(batch_store)
+        assert streaming.stats == batch.stats
+        assert streaming.ground_truth == batch.ground_truth
+        # Cadence: contiguous indexes, only the last window final, and the
+        # in-window arrival counts add up.
+        assert [w.index for w in windows] == list(range(len(windows)))
+        assert [w.final for w in windows] == [False] * (len(windows) - 1) + [True]
+        assert sum(w.arrivals for w in windows) == len(arrivals)
+
+    def test_quiet_windows_yielded_empty(self):
+        arrivals = [_arrival(1), _arrival(700)]
+        collector = DscopeCollector(self._config(), window=WINDOW)
+        windows = list(
+            collector.collect_windows(arrivals, span=timedelta(hours=2))
+        )
+        assert len(windows) >= 5
+        assert any(w.arrivals == 0 and not w.sessions for w in windows[1:-1])
+
+    def test_max_windows_truncates(self):
+        arrivals = [_arrival(m) for m in range(0, 720, 3)]
+        collector = DscopeCollector(self._config(), window=WINDOW)
+        windows = list(
+            collector.collect_windows(
+                arrivals, span=timedelta(hours=2), max_windows=2
+            )
+        )
+        assert len(windows) == 2
+        assert windows[-1].final
+
+    def test_rejects_non_positive_span(self):
+        collector = DscopeCollector(self._config(), window=WINDOW)
+        with pytest.raises(ValueError):
+            list(collector.collect_windows([], span=timedelta(0)))

@@ -113,12 +113,24 @@ class TestStatsHelpers:
         edges = [edge for edge, _ in bin_counts([], bin_width=0.1, lo=0.0, hi=2.0)]
         assert edges == [round(0.1 * i, 1) for i in range(20)]
 
-    def test_bin_counts_non_dividing_width_keeps_floor_bins(self):
+    def test_bin_counts_non_dividing_width_adds_partial_tail_bin(self):
         bins = bin_counts([0.95], bin_width=0.3, lo=0.0, hi=1.0)
-        # floor(1.0 / 0.3) = 3 full bins; the partial tail [0.9, 1.0) has
-        # no bin of its own (unchanged behaviour for non-dividing widths).
-        assert [edge for edge, _ in bins] == [0.0, 0.3, 0.6]
-        assert sum(count for _, count in bins) == 0
+        # floor(1.0 / 0.3) = 3 full bins plus the partial tail [0.9, 1.0):
+        # a value passing the [lo, hi) filter must be counted somewhere
+        # (pre-fix, 0.95 fell past the last edge and silently vanished).
+        assert [edge for edge, _ in bins] == [0.0, 0.3, 0.6, 0.9]
+        assert bins[-1] == (0.9, 1)
+        assert sum(count for _, count in bins) == 1
+
+    def test_bin_counts_non_dividing_width_drops_no_in_range_value(self):
+        bins = bin_counts([9.5], bin_width=3.0, lo=0.0, hi=10.0)
+        assert bins == [(0.0, 0), (3.0, 0), (6.0, 0), (9.0, 1)]
+
+    def test_bin_counts_width_wider_than_range(self):
+        # n_bins is forced to 1 and the single bin already covers [lo, hi);
+        # no bogus extra bin may appear past it.
+        bins = bin_counts([0.4, 2.9], bin_width=7.0, lo=0.0, hi=3.0)
+        assert bins == [(0.0, 2)]
 
     def test_quantile(self):
         assert quantile([10, 20, 30, 40], 0.25) == 10
