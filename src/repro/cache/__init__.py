@@ -23,8 +23,10 @@ from repro.cache.checkpoint import (
 from repro.cache.fingerprint import STAGE_MODULES, code_fingerprint, digest_file
 from repro.cache.gc import (
     GcReport,
+    ManifestGcReport,
     ShmGcReport,
     collect_garbage,
+    collect_manifest_garbage,
     collect_shm_garbage,
 )
 from repro.cache.integrity import EntryReport, is_complete_entry, verify_entry
@@ -47,11 +49,13 @@ __all__ = [
     "CheckpointTelemetry",
     "EntryReport",
     "GcReport",
+    "ManifestGcReport",
     "STAGE_MODULES",
     "ShmGcReport",
     "StudyCache",
     "code_fingerprint",
     "collect_garbage",
+    "collect_manifest_garbage",
     "collect_shm_garbage",
     "default_cache_root",
     "digest_file",

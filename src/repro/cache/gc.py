@@ -173,6 +173,120 @@ def collect_garbage(
 
 
 # ---------------------------------------------------------------------------
+# Watch-manifest sweep
+# ---------------------------------------------------------------------------
+
+#: ``watch-<study key>-<NNNNN>.json`` — the rolling manifests a ``repro
+#: watch`` run emits, grouped for GC by their ``watch-<study key>`` prefix.
+_WATCH_MANIFEST_RE = re.compile(
+    r"^(?P<prefix>watch-[0-9a-f]+)-(?P<index>\d+)\.json$"
+)
+
+
+@dataclass
+class ManifestGcReport:
+    """What one watch-manifest sweep removed and what remains."""
+
+    expired_removed: int = 0
+    count_evicted: int = 0
+    staging_removed: int = 0
+    manifests_kept: int = 0
+    bytes_freed: int = 0
+    removed_names: List[str] = field(default_factory=list)
+
+    @property
+    def manifests_removed(self) -> int:
+        return self.expired_removed + self.count_evicted
+
+    @property
+    def removed_anything(self) -> bool:
+        return self.manifests_removed + self.staging_removed > 0
+
+
+def collect_manifest_garbage(
+    manifest_root: Path,
+    *,
+    max_age: Optional[timedelta] = None,
+    max_count: Optional[int] = None,
+    staging_grace: float = STAGING_GRACE_SECONDS,
+    now: Optional[float] = None,
+) -> ManifestGcReport:
+    """Bound the rolling ``watch-*`` manifests under a manifest directory.
+
+    A long-lived ``repro watch`` run emits one manifest per window and
+    nothing ever deletes them.  This sweep applies an age bound
+    (``max_age``, by mtime) and a per-run count bound (``max_count``
+    newest windows kept per ``watch-<study key>`` prefix) — **always
+    keeping at least the newest manifest of every prefix**, so the live
+    resume point (window index, cursor) survives any bound.  Batch run
+    manifests (``<study key>.json``) are never touched; orphaned
+    ``*.tmp<pid>`` staging files are swept under the same pid-liveness +
+    grace policy as cache staging dirs.
+    """
+    report = ManifestGcReport()
+    if not manifest_root.is_dir():
+        return report
+    now = time.time() if now is None else now
+
+    groups: dict = {}
+    for child in sorted(manifest_root.iterdir()):
+        if not child.is_file():
+            continue
+        if ".tmp" in child.name:
+            stale = _is_stale_staging(child, now=now, grace=staging_grace)
+            if stale:
+                try:
+                    size = child.stat().st_size
+                    child.unlink()
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                report.staging_removed += 1
+                report.bytes_freed += size
+                report.removed_names.append(child.name)
+            continue
+        match = _WATCH_MANIFEST_RE.match(child.name)
+        if match is None:
+            continue
+        groups.setdefault(match.group("prefix"), []).append(
+            (int(match.group("index")), child)
+        )
+
+    for members in groups.values():
+        members.sort()  # by window index: oldest first, newest last
+        survivors = []
+        for position, (_, path) in enumerate(members):
+            newest = position == len(members) - 1
+            if newest:
+                survivors.append(path)
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            if max_age is not None and now - mtime > max_age.total_seconds():
+                report.expired_removed += _unlink_file(path, report)
+                continue
+            survivors.append(path)
+        if max_count is not None and max_count >= 1:
+            while len(survivors) > max_count:
+                report.count_evicted += _unlink_file(survivors.pop(0), report)
+        report.manifests_kept += len(survivors)
+    return report
+
+
+def _unlink_file(path: Path, report: ManifestGcReport) -> int:
+    """Remove one manifest file; returns 1 when it was actually removed."""
+    try:
+        size = path.stat().st_size
+        path.unlink()
+    except OSError:  # pragma: no cover - racing deletion
+        return 0
+    report.bytes_freed += size
+    report.removed_names.append(path.name)
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # Shared-memory arena sweep
 # ---------------------------------------------------------------------------
 

@@ -56,7 +56,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.cache.fingerprint import code_fingerprint
-from repro.cache.gc import GcReport, STAGING_GRACE_SECONDS, collect_garbage
+from repro.cache.gc import (
+    GcReport,
+    ManifestGcReport,
+    STAGING_GRACE_SECONDS,
+    collect_garbage,
+    collect_manifest_garbage,
+)
 from repro.cache.integrity import (
     EntryReport,
     build_manifest,
@@ -525,6 +531,24 @@ class StudyCache:
         )
         self._count("evictions", report.entries_removed)
         return report
+
+    def gc_manifests(
+        self,
+        *,
+        max_age: Optional[timedelta] = None,
+        max_count: Optional[int] = None,
+        staging_grace: float = STAGING_GRACE_SECONDS,
+    ) -> ManifestGcReport:
+        """Bound the rolling ``watch-*`` manifests under this cache root
+        (see :func:`repro.cache.gc.collect_manifest_garbage`)."""
+        from repro.obs import manifests_root
+
+        return collect_manifest_garbage(
+            manifests_root(self.root),
+            max_age=max_age,
+            max_count=max_count,
+            staging_grace=staging_grace,
+        )
 
     def stats(self) -> Dict[str, object]:
         """Snapshot of the on-disk population plus this instance's counters."""

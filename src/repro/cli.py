@@ -6,6 +6,8 @@ Subcommands::
                       results, optionally export artifacts to a directory
     repro watch       tail the arrival stream window by window: incremental
                       study state, live A<P rate, rolling manifests
+    repro serve       HTTP query plane over a columnar study shard
+    repro query       answer one serve query offline from the shard
     repro experiment  regenerate one paper table/figure (see `repro list`)
     repro report      per-CVE lifecycle dossier from a study run
     repro trace       render a run manifest's span tree (where time went)
@@ -220,6 +222,67 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         return 1
     if not args.json:
         print(f"\nrolling manifests under {manifest_dir}/")
+    return 0
+
+
+def _serve_study(args: argparse.Namespace):
+    """(study, built) for serve/query: mmapped shard, built on first use."""
+    from repro.store import load_shard, shard_for_config
+
+    if args.shard is not None:
+        return load_shard(args.shard), False
+    config = _study_config(args)
+    return shard_for_config(config, cache_root=args.cache_dir)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.store import StudyServer, StudyService
+
+    study, built = _serve_study(args)
+    service = StudyService(study)
+    if built:
+        print(f"shard built and published (etag {service.etag})",
+              file=sys.stderr)
+    server = StudyServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(f"serving study {service.etag} on http://{host}:{port}/ "
+              f"(endpoints: /healthz /stats /v1/<query>)", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.store import QueryError, StudyService
+
+    study, _ = _serve_study(args)
+    service = StudyService(study)
+    params = {}
+    if args.later is not None:
+        params["later"] = args.later
+    if args.earlier is not None:
+        params["earlier"] = args.earlier
+    if args.shifts is not None:
+        params["shifts"] = args.shifts
+    if args.within is not None:
+        params["within"] = str(args.within)
+    try:
+        body = service.answer_bytes(args.query, params)
+    except QueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sys.stdout.write(body.decode("utf-8"))
     return 0
 
 
@@ -557,6 +620,19 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
           f"{report.entries_kept} entr"
           f"{'y' if report.entries_kept == 1 else 'ies'} "
           f"({_format_bytes(report.bytes_kept)})")
+    # Rolling watch-* manifests accumulate one file per window; the same
+    # gc pass bounds them (always keeping each run's newest, the resume
+    # point).
+    manifest_report = cache.gc_manifests(
+        max_age=(
+            timedelta(days=args.watch_max_age_days)
+            if args.watch_max_age_days is not None else None
+        ),
+        max_count=args.watch_max_count,
+    )
+    print(f"watch manifests removed: {manifest_report.manifests_removed} "
+          f"({_format_bytes(manifest_report.bytes_freed)}); kept: "
+          f"{manifest_report.manifests_kept}")
     # Orphaned scan arenas (SIGKILLed runs) squat on /dev/shm, not in the
     # cache directory, so the same gc pass sweeps them too.
     from repro.cache import collect_shm_garbage
@@ -658,6 +734,15 @@ def _add_cache_commands(subparsers, common: argparse.ArgumentParser) -> None:
         "--max-bytes", type=int, default=None, metavar="N",
         help="evict oldest entries until the cache fits in N bytes",
     )
+    gc_parser.add_argument(
+        "--watch-max-age-days", type=float, default=None, metavar="DAYS",
+        help="remove rolling watch-* manifests older than DAYS "
+             "(the newest per watch run is always kept)",
+    )
+    gc_parser.add_argument(
+        "--watch-max-count", type=_positive_int, default=None, metavar="N",
+        help="keep at most the N newest watch-* manifests per watch run",
+    )
     gc_parser.set_defaults(func=_cmd_cache_gc)
 
     clear_parser = cache_subparsers.add_parser(
@@ -713,6 +798,52 @@ def build_parser() -> argparse.ArgumentParser:
              "(default <cache root>/manifests)",
     )
     watch_parser.set_defaults(func=_cmd_watch)
+
+    serve_parser = subparsers.add_parser(
+        "serve", parents=[common, study],
+        help="HTTP query plane over a columnar study shard",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port (default 8321; 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--shard", default=None, metavar="PATH",
+        help="serve an explicit shard file instead of the config's",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = subparsers.add_parser(
+        "query", parents=[common, study],
+        help="answer one serve query offline from the shard",
+    )
+    from repro.store.service import QUERY_NAMES
+
+    query_parser.add_argument("query", choices=list(QUERY_NAMES))
+    query_parser.add_argument(
+        "--shard", default=None, metavar="PATH",
+        help="query an explicit shard file instead of the config's",
+    )
+    query_parser.add_argument(
+        "--later", default=None, metavar="EVENT",
+        help="windows query: the later lifecycle event (default A)",
+    )
+    query_parser.add_argument(
+        "--earlier", default=None, metavar="EVENT",
+        help="windows query: the earlier lifecycle event (default D)",
+    )
+    query_parser.add_argument(
+        "--shifts", default=None, metavar="DAYS,DAYS,...",
+        help="windows query: shifted-satisfaction shifts in days",
+    )
+    query_parser.add_argument(
+        "--within", type=float, default=None, metavar="DAYS",
+        help="windows query: narrow-violation window (default 30)",
+    )
+    query_parser.set_defaults(func=_cmd_query)
 
     experiment_parser = subparsers.add_parser(
         "experiment", parents=[common, study],

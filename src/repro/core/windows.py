@@ -10,7 +10,7 @@ right models hypothetical process improvements.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.lifecycle.events import CveTimeline, LifecycleEvent
 from repro.util.stats import Ecdf
@@ -60,6 +60,23 @@ def shifted_satisfaction(cdf: Ecdf, shift_days: float) -> float:
     CDF right by x days models the earlier event happening x days sooner.
     """
     return 1.0 - cdf.at(-shift_days)
+
+
+def shifted_satisfaction_profile(
+    cdf: Ecdf, shifts: Sequence[float]
+) -> Dict[float, float]:
+    """:func:`shifted_satisfaction` at several shifts, in one vectorized pass.
+
+    The serve/query plane answers "what if the earlier event happened 0 / 7
+    / 30 / 90 days sooner" per request; one :meth:`Ecdf.at_many` call
+    replaces a scalar ``at`` per shift.  Values equal the scalar function
+    exactly.
+    """
+    queries = [-float(shift) for shift in shifts]
+    values = 1.0 - cdf.at_many(queries)
+    return {
+        float(shift): float(value) for shift, value in zip(shifts, values)
+    }
 
 
 def narrow_violations(

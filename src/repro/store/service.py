@@ -1,0 +1,267 @@
+"""Query handlers shared by ``repro serve`` and ``repro query``.
+
+:class:`StudyService` owns one (usually mmapped) :class:`ColumnarStudy`
+and renders each supported query as a JSON document.  The HTTP server and
+the offline CLI call the *same* handler methods, so an answer fetched over
+the wire and one printed locally cannot disagree.
+
+Responses are deterministic functions of the shard — the shard is
+immutable and content-keyed — so the service memoizes the encoded bytes
+per canonical query string: a repeated query costs one dict lookup, and
+the server can stream the cached bytes straight into the socket.
+
+JSON shapes mirror the existing report surfaces: the ``skill`` endpoint
+carries :func:`repro.core.skill.skill_table` rows, ``windows`` the CDF
+series the figure exporters downsample, ``kev`` the headline rates of
+:class:`repro.analysis.kev_compare.KevComparison`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.skill import mean_skill, skill_table
+from repro.lifecycle.events import LifecycleEvent
+from repro.reporting.figures import downsample_cdf
+from repro.store import kernels
+from repro.store.columnar import ColumnarStudy
+from repro.util.stats import Ecdf
+
+#: Query names ``repro query`` accepts and the server routes under ``/v1/``.
+QUERY_NAMES = ("describe", "lifecycle", "windows", "skill", "vendors", "kev")
+
+#: Default hypothetical-improvement shifts (days) for window queries.
+DEFAULT_SHIFTS = (0.0, 7.0, 30.0, 90.0)
+
+
+class QueryError(ValueError):
+    """A malformed query (unknown event letter, bad parameter value)."""
+
+
+def _parse_event(letter: str) -> LifecycleEvent:
+    try:
+        return LifecycleEvent.from_letter(letter.upper())
+    except ValueError as error:
+        raise QueryError(str(error)) from None
+
+
+def _cdf_points(cdf: Ecdf, *, points: int = 200) -> List[List[float]]:
+    if cdf.n == 0:
+        return []
+    return [
+        [float(x), float(p)]
+        for x, p in downsample_cdf(cdf, points=points).points
+    ]
+
+
+class StudyService:
+    """Answer lifecycle/window/skill/KEV queries from one packed study."""
+
+    def __init__(self, study: ColumnarStudy) -> None:
+        self.study = study
+        self._body_cache: Dict[str, bytes] = {}
+
+    @property
+    def etag(self) -> str:
+        """The content fingerprint — doubles as the HTTP ``ETag``."""
+        return self.study.etag
+
+    # -- handlers ----------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Identity and shape of the served study."""
+        meta = self.study.meta
+        return {
+            "etag": self.study.etag,
+            "code": meta.get("code"),
+            "config": meta.get("config"),
+            "counts": meta.get("counts"),
+            "tables": {
+                "cves": len(self.study.cves),
+                "categories": len(self.study.categories),
+            },
+            "queries": list(QUERY_NAMES),
+        }
+
+    def lifecycle(self) -> Dict[str, object]:
+        """Timeline-level outcomes: kept/dropped CVEs, desiderata counts,
+        the live A-before-P rate, the per-event mitigated share."""
+        counts = kernels.satisfaction_counts(self.study)
+        return {
+            "etag": self.study.etag,
+            "timelines": self.study.n_timelines,
+            "kept_cves": kernels.kept_cves(self.study),
+            "dropped_cves": kernels.dropped_cves(self.study),
+            "a_before_p_rate": kernels.a_before_p_rate(self.study),
+            "mitigated_share": kernels.mitigated_share(self.study),
+            "desiderata": {
+                label: {"satisfied": satisfied, "evaluated": evaluated}
+                for label, (satisfied, evaluated) in counts.items()
+            },
+        }
+
+    def windows(
+        self,
+        *,
+        later: str = "A",
+        earlier: str = "D",
+        shifts: Tuple[float, ...] = DEFAULT_SHIFTS,
+        within_days: float = 30.0,
+        points: int = 200,
+    ) -> Dict[str, object]:
+        """One window-of-vulnerability figure: the gap CDF plus its
+        headline readings (violation rate, narrow violations, shifted
+        satisfaction profile)."""
+        later_event = _parse_event(later)
+        earlier_event = _parse_event(earlier)
+        if later_event is earlier_event:
+            raise QueryError("later and earlier must differ")
+        cdf = kernels.window_cdf(self.study, later_event, earlier_event)
+        narrow, violations = kernels.narrow_violations(
+            self.study, later_event, earlier_event, within_days=within_days
+        )
+        if cdf.n:
+            from repro.core.windows import shifted_satisfaction_profile
+
+            profile = shifted_satisfaction_profile(cdf, shifts)
+            shifted = [
+                {"shift_days": shift, "satisfaction": value}
+                for shift, value in profile.items()
+            ]
+            violation_rate: Optional[float] = cdf.at(0.0)
+        else:
+            shifted = []
+            violation_rate = None
+        return {
+            "etag": self.study.etag,
+            "later": later_event.value,
+            "earlier": earlier_event.value,
+            "n": cdf.n,
+            "violation_rate": violation_rate,
+            "narrow_violations": narrow,
+            "total_violations": violations,
+            "within_days": within_days,
+            "shifted_satisfaction": shifted,
+            "cdf": _cdf_points(cdf, points=points),
+        }
+
+    def skill(self) -> Dict[str, object]:
+        """Table 4: observed rate, baseline, and skill per desideratum."""
+        reports = kernels.skill_rollup(self.study)
+        evaluable = [report for report in reports if report.evaluated > 0]
+        return {
+            "etag": self.study.etag,
+            "rows": skill_table(reports),
+            "mean_skill": mean_skill(evaluable) if evaluable else None,
+        }
+
+    def vendors(self) -> Dict[str, object]:
+        """Per-vendor-category CVD outcomes (paper Section 8.1)."""
+        return {
+            "etag": self.study.etag,
+            "categories": [
+                {
+                    "category": summary.category,
+                    "cves": summary.cves,
+                    "median_fix_lag_days": summary.median_fix_lag_days,
+                    "defense_first_rate": summary.defense_first_rate,
+                    "pre_publication_rules": summary.pre_publication_rules,
+                }
+                for summary in kernels.vendor_rollup(self.study)
+            ],
+        }
+
+    def kev(self, *, points: int = 200) -> Dict[str, object]:
+        """The Section 7.2 KEV comparison with both distribution series."""
+        comparison = kernels.kev_rollup(self.study)
+        pre_publication = (
+            comparison.kev_pre_publication_rate
+            if comparison.kev_a_minus_p.n else None
+        )
+        dscope_first = (
+            comparison.dscope_first_rate
+            if comparison.first_seen_delta.n else None
+        )
+        month_earlier = (
+            comparison.dscope_month_earlier_rate
+            if comparison.first_seen_delta.n else None
+        )
+        return {
+            "etag": self.study.etag,
+            "kev_in_window": comparison.kev_in_window,
+            "overlap_cves": comparison.overlap_cves,
+            "dscope_only_cves": comparison.dscope_only_cves,
+            "kev_pre_publication_rate": pre_publication,
+            "dscope_first_rate": dscope_first,
+            "dscope_month_earlier_rate": month_earlier,
+            "kev_a_minus_p_cdf": _cdf_points(
+                comparison.kev_a_minus_p, points=points
+            ),
+            "first_seen_delta_cdf": _cdf_points(
+                comparison.first_seen_delta, points=points
+            ),
+        }
+
+    # -- dispatch ----------------------------------------------------------
+
+    def answer(
+        self, name: str, params: Optional[Mapping[str, str]] = None
+    ) -> Dict[str, object]:
+        """Dispatch one named query with string parameters.
+
+        Raises :class:`KeyError` for an unknown query name and
+        :class:`QueryError` for malformed parameters — the server maps
+        those to 404 and 400.
+        """
+        params = dict(params or {})
+        if name == "describe":
+            return self.describe()
+        if name == "lifecycle":
+            return self.lifecycle()
+        if name == "skill":
+            return self.skill()
+        if name == "vendors":
+            return self.vendors()
+        if name == "kev":
+            return self.kev()
+        if name == "windows":
+            kwargs: Dict[str, object] = {}
+            if "later" in params:
+                kwargs["later"] = params["later"]
+            if "earlier" in params:
+                kwargs["earlier"] = params["earlier"]
+            try:
+                if "shifts" in params:
+                    kwargs["shifts"] = tuple(
+                        float(part)
+                        for part in params["shifts"].split(",")
+                        if part.strip()
+                    )
+                if "within" in params:
+                    kwargs["within_days"] = float(params["within"])
+            except ValueError as error:
+                raise QueryError(f"bad numeric parameter: {error}") from None
+            return self.windows(**kwargs)  # type: ignore[arg-type]
+        raise KeyError(name)
+
+    def answer_bytes(
+        self, name: str, params: Optional[Mapping[str, str]] = None
+    ) -> bytes:
+        """:meth:`answer` as canonical JSON bytes, memoized per query.
+
+        The cache key folds the sorted parameters, so ``shifts=0,30`` and
+        ``shifts=0,30&later=A`` are distinct entries while parameter
+        *order* is not.
+        """
+        canonical = name + "?" + "&".join(
+            f"{key}={value}" for key, value in sorted((params or {}).items())
+        )
+        cached = self._body_cache.get(canonical)
+        if cached is not None:
+            return cached
+        body = (
+            json.dumps(self.answer(name, params), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self._body_cache[canonical] = body
+        return body

@@ -40,6 +40,24 @@ class Ecdf:
             raise ValueError("ECDF over empty sample")
         return float(np.searchsorted(self.xs, x, side="right")) / self.n
 
+    def at_many(self, xs: Iterable[float]) -> np.ndarray:
+        """Vectorized :meth:`at`: P(X <= x) for every x in one pass.
+
+        One ``np.searchsorted`` over the whole query array instead of N
+        scalar calls — the read-optimized query plane evaluates CDFs at
+        many shift points per request and must not pay a Python loop.
+        Each element equals the scalar :meth:`at` exactly.
+
+        >>> Ecdf.from_values([1.0, 2.0, 3.0]).at_many([0.0, 2.0, 9.0]).tolist()
+        [0.0, 0.6666666666666666, 1.0]
+        """
+        if self.n == 0:
+            raise ValueError("ECDF over empty sample")
+        queries = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs,
+                             dtype=float)
+        positions = np.searchsorted(self.xs, queries, side="right")
+        return positions.astype(float) / self.n
+
     def quantile(self, p: float) -> float:
         """Smallest sample value x with P(X <= x) >= p."""
         if not 0.0 < p <= 1.0:

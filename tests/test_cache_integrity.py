@@ -417,3 +417,107 @@ class TestKeySchema:
         key = study_key(config)
         assert len(key) == 32
         assert key != study_key(dataclasses.replace(config, seed=1))
+
+
+class TestManifestGc:
+    """The rolling watch-manifest sweep: age/count bounds, newest kept."""
+
+    @staticmethod
+    def _manifest_dir(root: Path) -> Path:
+        from repro.obs import manifests_root
+
+        directory = manifests_root(root)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    @staticmethod
+    def _write_windows(directory: Path, prefix: str, count: int) -> list:
+        paths = []
+        for index in range(count):
+            path = directory / f"{prefix}-{index:05d}.json"
+            path.write_text(json.dumps({"window": index}))
+            paths.append(path)
+        return paths
+
+    def test_count_bound_keeps_newest_per_prefix(self, tmp_path):
+        from repro.cache import collect_manifest_garbage
+
+        directory = self._manifest_dir(tmp_path)
+        first = self._write_windows(directory, "watch-" + "a" * 32, 5)
+        second = self._write_windows(directory, "watch-" + "b" * 32, 3)
+
+        report = collect_manifest_garbage(directory, max_count=2)
+        assert report.count_evicted == 4  # 3 from first run, 1 from second
+        assert report.manifests_kept == 4
+        # The newest window of each run always survives.
+        assert first[-1].exists() and second[-1].exists()
+        assert not first[0].exists() and not second[0].exists()
+
+    def test_age_bound_spares_newest(self, tmp_path):
+        from repro.cache import collect_manifest_garbage
+
+        directory = self._manifest_dir(tmp_path)
+        windows = self._write_windows(directory, "watch-" + "c" * 32, 3)
+        stale = time.time() - 10 * 86400
+        for path in windows:  # everything old, including the newest
+            os.utime(path, (stale, stale))
+
+        report = collect_manifest_garbage(
+            directory, max_age=timedelta(days=1)
+        )
+        assert report.expired_removed == 2
+        assert windows[-1].exists()  # resume point survives the age bound
+
+    def test_batch_manifests_untouched(self, tmp_path):
+        from repro.cache import collect_manifest_garbage
+
+        directory = self._manifest_dir(tmp_path)
+        batch = directory / ("d" * 32 + ".json")
+        batch.write_text("{}")
+        stale = time.time() - 365 * 86400
+        os.utime(batch, (stale, stale))
+
+        report = collect_manifest_garbage(
+            directory, max_age=timedelta(days=1), max_count=1
+        )
+        assert not report.removed_anything
+        assert batch.exists()
+
+    def test_stale_staging_swept(self, tmp_path):
+        from repro.cache import collect_manifest_garbage
+
+        directory = self._manifest_dir(tmp_path)
+        orphan = directory / ("watch-" + "e" * 32 + "-00000.json.tmp999999999")
+        orphan.write_text("partial")
+
+        report = collect_manifest_garbage(directory)
+        assert report.staging_removed == 1
+        assert not orphan.exists()
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        from repro.cache import collect_manifest_garbage
+
+        report = collect_manifest_garbage(tmp_path / "absent")
+        assert not report.removed_anything
+        assert report.manifests_kept == 0
+
+    def test_cache_gc_cli_flags(self, tmp_path):
+        cache = StudyCache(root=tmp_path)
+        _save(cache, _config())
+        directory = self._manifest_dir(tmp_path)
+        self._write_windows(directory, "watch-" + "f" * 32, 4)
+
+        assert main([
+            "cache", "gc", "--watch-max-count", "1",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert len(list(directory.glob("watch-*.json"))) == 1
+
+    def test_gc_manifests_method(self, tmp_path):
+        cache = StudyCache(root=tmp_path)
+        directory = self._manifest_dir(tmp_path)
+        self._write_windows(directory, "watch-" + "9" * 32, 3)
+
+        report = cache.gc_manifests(max_count=2)
+        assert report.count_evicted == 1
+        assert report.manifests_kept == 2

@@ -1,0 +1,323 @@
+"""The serve/query plane: service handlers, HTTP semantics, CLI.
+
+Covers the tentpole's read-API contract: 200s with the cache fingerprint
+as a strong ``ETag`` and immutable cache headers, ``If-None-Match`` → 304,
+404/400 errors, keep-alive and concurrent connections — plus the offline
+``repro query`` CLI sharing the same handlers byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.store import (
+    ColumnarStudy,
+    QueryError,
+    StudyServer,
+    StudyService,
+    write_shard,
+)
+
+
+@pytest.fixture(scope="module")
+def service(study):
+    return StudyService(ColumnarStudy.from_study(study))
+
+
+@pytest.fixture(scope="module")
+def shard_path(study, tmp_path_factory):
+    return write_shard(
+        ColumnarStudy.from_study(study),
+        tmp_path_factory.mktemp("serve-shards") / "study.shard",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Service handlers (shared by serve and query)
+# ---------------------------------------------------------------------------
+
+
+class TestService:
+    def test_describe_carries_identity(self, service, study):
+        from repro.cache import study_key
+
+        described = service.describe()
+        assert described["etag"] == study_key(study.config)
+        assert described["counts"]["alerts"] == len(study.alerts)
+        assert "windows" in described["queries"]
+
+    def test_lifecycle_matches_study(self, service, study):
+        lifecycle = service.lifecycle()
+        assert lifecycle["kept_cves"] == study.kept_cves
+        assert lifecycle["dropped_cves"] == study.dropped_cves
+        assert lifecycle["timelines"] == len(study.timelines)
+
+    def test_skill_matches_dataclass_table(self, service, study):
+        from repro.core.skill import compute_skill, skill_table
+
+        assert service.skill()["rows"] == skill_table(
+            compute_skill(study.timelines.values())
+        )
+
+    def test_windows_violation_rate(self, service, study):
+        from repro.core.windows import violation_rate, window_cdf
+        from repro.lifecycle.events import A, D
+
+        answer = service.windows(later="A", earlier="D")
+        cdf = window_cdf(study.timelines.values(), A, D)
+        assert answer["n"] == cdf.n
+        assert answer["violation_rate"] == violation_rate(cdf)
+
+    def test_windows_rejects_bad_events(self, service):
+        with pytest.raises(QueryError):
+            service.windows(later="Z")
+        with pytest.raises(QueryError):
+            service.windows(later="A", earlier="A")
+
+    def test_answer_dispatch_unknown_name(self, service):
+        with pytest.raises(KeyError):
+            service.answer("nonsense")
+
+    def test_answer_bytes_memoized_and_param_order_free(self, service):
+        first = service.answer_bytes(
+            "windows", {"later": "A", "earlier": "D"}
+        )
+        second = service.answer_bytes(
+            "windows", {"earlier": "D", "later": "A"}
+        )
+        assert first is second  # same memo entry, not merely equal
+
+    def test_every_query_is_valid_json(self, service):
+        from repro.store.service import QUERY_NAMES
+
+        for name in QUERY_NAMES:
+            document = json.loads(service.answer_bytes(name))
+            assert document["etag"] == service.etag
+
+
+# ---------------------------------------------------------------------------
+# The asyncio HTTP server
+# ---------------------------------------------------------------------------
+
+
+async def _request(host, port, target, headers=None, method="GET"):
+    """One HTTP request; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = f"{method} {target} HTTP/1.1\r\nHost: test\r\n"
+        for name, value in (headers or {}).items():
+            request += f"{name}: {value}\r\n"
+        writer.write((request + "\r\n").encode())
+        await writer.drain()
+        return await _read_response(reader, method=method)
+    finally:
+        writer.close()
+
+
+async def _read_response(reader, *, method="GET"):
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = b""
+    if length and status != 304 and method != "HEAD":
+        body = await reader.readexactly(length)
+    return status, headers, body
+
+
+@pytest.fixture()
+def server_loop(service):
+    """A started server plus an event loop to drive requests on."""
+    loop = asyncio.new_event_loop()
+    server = StudyServer(service, port=0)
+    host, port = loop.run_until_complete(server.start())
+    yield loop, server, host, port
+    loop.run_until_complete(server.close())
+    loop.close()
+
+
+class TestHttpServer:
+    def test_200_with_etag_and_immutable_cache(self, server_loop, service):
+        loop, _, host, port = server_loop
+        status, headers, body = loop.run_until_complete(
+            _request(host, port, "/v1/skill")
+        )
+        assert status == 200
+        assert headers["etag"] == f'"{service.etag}"'
+        assert "immutable" in headers["cache-control"]
+        assert json.loads(body)["etag"] == service.etag
+        assert body == service.answer_bytes("skill")
+
+    def test_if_none_match_304(self, server_loop, service):
+        loop, _, host, port = server_loop
+        for header in (
+            f'"{service.etag}"',
+            f'W/"{service.etag}"',
+            f'"other", "{service.etag}"',
+            "*",
+        ):
+            status, headers, body = loop.run_until_complete(
+                _request(host, port, "/v1/kev", {"If-None-Match": header})
+            )
+            assert status == 304, header
+            assert headers["etag"] == f'"{service.etag}"'
+            assert body == b""
+        status, _, _ = loop.run_until_complete(
+            _request(host, port, "/v1/kev", {"If-None-Match": '"stale"'})
+        )
+        assert status == 200
+
+    def test_404_unknown_paths(self, server_loop):
+        loop, _, host, port = server_loop
+        for target in ("/v1/nonsense", "/nope", "/v2/skill"):
+            status, _, _ = loop.run_until_complete(
+                _request(host, port, target)
+            )
+            assert status == 404, target
+
+    def test_400_bad_query(self, server_loop):
+        loop, _, host, port = server_loop
+        status, _, body = loop.run_until_complete(
+            _request(host, port, "/v1/windows?later=Q")
+        )
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_405_post(self, server_loop):
+        loop, _, host, port = server_loop
+        status, headers, _ = loop.run_until_complete(
+            _request(host, port, "/v1/skill", method="POST")
+        )
+        assert status == 405
+        assert "GET" in headers["allow"]
+
+    def test_head_carries_headers_only(self, server_loop, service):
+        loop, _, host, port = server_loop
+        status, headers, body = loop.run_until_complete(
+            _request(host, port, "/v1/skill", method="HEAD")
+        )
+        assert status == 200
+        assert int(headers["content-length"]) == len(
+            service.answer_bytes("skill")
+        )
+        assert body == b""
+
+    def test_healthz_and_stats(self, server_loop, service):
+        loop, _, host, port = server_loop
+        status, _, body = loop.run_until_complete(
+            _request(host, port, "/healthz")
+        )
+        assert status == 200 and json.loads(body) == {"ok": True}
+        status, _, body = loop.run_until_complete(
+            _request(host, port, "/stats")
+        )
+        stats = json.loads(body)
+        assert status == 200 and stats["etag"] == service.etag
+        assert stats["counters"].get("serve.requests", 0) >= 1
+
+    def test_keep_alive_two_requests_one_connection(self, server_loop):
+        loop, _, host, port = server_loop
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"GET /v1/skill HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                first = await _read_response(reader)
+                writer.write(b"GET /v1/vendors HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                second = await _read_response(reader)
+                return first, second
+            finally:
+                writer.close()
+
+        (status_one, headers_one, _), (status_two, _, _) = (
+            loop.run_until_complete(scenario())
+        )
+        assert status_one == 200 and status_two == 200
+        assert headers_one["connection"] == "keep-alive"
+
+    def test_connection_close_honoured(self, server_loop):
+        loop, _, host, port = server_loop
+        status, headers, _ = loop.run_until_complete(
+            _request(host, port, "/v1/skill", {"Connection": "close"})
+        )
+        assert status == 200
+        assert headers["connection"] == "close"
+
+    def test_concurrent_requests(self, server_loop, service):
+        loop, _, host, port = server_loop
+
+        async def swarm():
+            return await asyncio.gather(
+                *[
+                    _request(host, port, "/v1/windows?later=A&earlier=D")
+                    for _ in range(32)
+                ]
+            )
+
+        responses = loop.run_until_complete(swarm())
+        expected = service.answer_bytes(
+            "windows", {"later": "A", "earlier": "D"}
+        )
+        assert all(status == 200 for status, _, _ in responses)
+        assert all(body == expected for _, _, body in responses)
+
+    def test_malformed_request_line(self, server_loop):
+        loop, _, host, port = server_loop
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"NONSENSE\r\n\r\n")
+                await writer.drain()
+                return await _read_response(reader)
+            finally:
+                writer.close()
+
+        status, _, _ = loop.run_until_complete(scenario())
+        assert status == 400
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro query answers from the shard, identical to the service
+# ---------------------------------------------------------------------------
+
+
+class TestQueryCli:
+    def test_query_skill_from_shard(self, shard_path, service, capsys):
+        from repro.cli import main
+
+        code = main(["query", "skill", "--shard", str(shard_path)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert printed.encode() == service.answer_bytes("skill")
+
+    def test_query_windows_params(self, shard_path, service, capsys):
+        from repro.cli import main
+
+        code = main([
+            "query", "windows", "--shard", str(shard_path),
+            "--later", "A", "--earlier", "D", "--shifts", "0,7,30",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [entry["shift_days"]
+                for entry in document["shifted_satisfaction"]] == [0, 7, 30]
+
+    def test_query_bad_event_exits_nonzero(self, shard_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "query", "windows", "--shard", str(shard_path), "--later", "Q",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
