@@ -28,6 +28,13 @@ under the default break-even policy and records whether it fell back to
 serial (``fallback_serial``).  ``REPRO_BENCH_VOLUME_ROW=<scale>`` adds a
 scan-only row at a different traffic scale (the issue's ``volume_scale >=
 10`` trajectory point) without paying for a full study at that scale.
+
+``test_rules_vs_throughput`` sweeps *ruleset* size instead of traffic
+volume: deterministic synthetic Snort rulesets (64 → 10k rules, see
+``repro.nids.scale``) scanned serial and forced-parallel over a fixed
+synthetic session corpus, recorded to the ``rules_sweep`` section of the
+same JSON.  Both writers merge into ``BENCH_pipeline.json`` rather than
+overwriting it, so either can run alone.
 """
 
 import json
@@ -37,6 +44,7 @@ import time
 from repro.datasets.seed_cves import STUDY_WINDOW
 from repro.exploits.rulegen import build_study_ruleset
 from repro.nids.engine import DetectionEngine
+from repro.nids.scale import throughput_sweep
 from repro.telescope.collector import DscopeCollector
 from repro.telescope.config import TelescopeConfig
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
@@ -49,6 +57,27 @@ SWEEP_WORKERS = [
     if part.strip()
 ]
 VOLUME_ROW_SCALE = float(os.environ.get("REPRO_BENCH_VOLUME_ROW", "0") or 0)
+
+
+def _merge_results(results_dir, section, payload):
+    """Read-modify-write one section of ``BENCH_pipeline.json``.
+
+    ``test_nids_scan_engines`` and ``test_rules_vs_throughput`` each own a
+    disjoint slice of the file; merging (instead of overwriting) lets either
+    run alone without clobbering the other's committed numbers.
+    """
+    path = results_dir / "BENCH_pipeline.json"
+    document = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):  # torn file: rebuild from scratch
+            document = {}
+    if section is None:
+        document.update(payload)
+    else:
+        document[section] = payload
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
 
 
 def _cpu_info():
@@ -261,9 +290,35 @@ def test_nids_scan_engines(study_full, results_dir):
             "unreliable": oversubscribed,
         }
 
-    (results_dir / "BENCH_pipeline.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    _merge_results(results_dir, None, payload)
+
+
+def test_rules_vs_throughput(results_dir):
+    """Scan throughput as the ruleset grows from 64 to 10k synthetic rules.
+
+    Runs :func:`repro.nids.scale.throughput_sweep` — deterministic scaled
+    Snort-text rulesets parsed through ``parse_rules``, scanned serial and
+    forced-parallel over the same synthetic session corpus — and merges the
+    result into ``BENCH_pipeline.json`` under ``rules_sweep``.  Every entry
+    asserts the serial and parallel alert streams are byte-identical
+    (``alerts_equal``), so a sharding regression fails the bench rather than
+    skewing the curve.  Sizes override with ``REPRO_BENCH_RULE_SIZES``;
+    sessions with ``REPRO_BENCH_RULE_SESSIONS``.
+    """
+    sizes = tuple(
+        int(part)
+        for part in os.environ.get(
+            "REPRO_BENCH_RULE_SIZES", "64,1024,4096,10000"
+        ).split(",")
+        if part.strip()
     )
+    session_count = int(os.environ.get("REPRO_BENCH_RULE_SESSIONS", "2000"))
+    sweep = throughput_sweep(
+        sizes=sizes, session_count=session_count, workers=SCAN_WORKERS
+    )
+    assert len(sweep["entries"]) == len(sizes)
+    assert all(entry["alerts_equal"] for entry in sweep["entries"])
+    _merge_results(results_dir, "rules_sweep", sweep)
 
 
 def test_ruleset_build(benchmark):

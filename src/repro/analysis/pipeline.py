@@ -421,6 +421,11 @@ def _build_manifest(
         execution["scan_arena_bytes"] = scan_telemetry.arena_bytes
         execution["scan_pool_reuses"] = scan_telemetry.pool_reuses
         execution["scan_fallback_serial"] = scan_telemetry.fallback_serial
+        # Prefilter sharding: how the fast-pattern plane was partitioned
+        # and how many shards actually compiled (lazy — untouched shards
+        # never pay their compile cost).
+        execution["scan_prefilter_shards"] = scan_telemetry.prefilter_shards
+        execution["scan_shards_compiled"] = scan_telemetry.shards_compiled
     return RunManifest(
         study={
             "key": study_key,

@@ -13,7 +13,8 @@ Subcommands::
     repro trace       render a run manifest's span tree (where time went)
     repro metrics     render a run manifest's metrics snapshot
     repro list        list regenerable experiments
-    repro rules       dump the generated Snort ruleset text
+    repro rules       dump the study ruleset; `rules gen|lint|bench` work
+                      with scaled synthetic rulesets (10k-rule scale)
     repro seeds       print the encoded Appendix E seed table
     repro baselines   paper baselines vs exactly computed Markov baselines
     repro cache       study-cache maintenance (stats / verify / gc / clear /
@@ -458,7 +459,86 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scale_config(args: argparse.Namespace):
+    from repro.nids.scale import ScaleConfig
+
+    return ScaleConfig(
+        size=args.size, seed=args.seed, fodder_fraction=args.fodder
+    )
+
+
+def _cmd_rules_gen(args: argparse.Namespace) -> int:
+    from repro.nids.scale import generate_scaled
+
+    for scaled in generate_scaled(_scale_config(args)):
+        if args.dates:
+            print(f"# published {scaled.published:%Y-%m-%d %H:%M}")
+        print(scaled.text)
+    return 0
+
+
+def _cmd_rules_lint(args: argparse.Namespace) -> int:
+    from repro.nids.scale import generate_scaled, lint_scaled
+
+    scaled = generate_scaled(_scale_config(args))
+    counts, unexpected = lint_scaled(scaled)
+    for check in sorted(counts):
+        print(f"{check}: {counts[check]}")
+    fodder = sum(1 for item in scaled if item.fodder is not None)
+    print(f"\n{sum(counts.values())} finding(s) across {len(scaled)} rules "
+          f"({fodder} deliberate fodder)")
+    if unexpected:
+        print(f"\n{len(unexpected)} unexpected gating finding(s):")
+        for finding in unexpected:
+            print(f"  sid:{finding.sid}  [{finding.check}]  {finding.message}")
+        return 1
+    return 0
+
+
+def _cmd_rules_bench(args: argparse.Namespace) -> int:
+    from repro.nids.scale import throughput_sweep
+
+    sizes = [int(piece) for piece in args.sizes.split(",") if piece]
+    sweep = throughput_sweep(
+        sizes=sizes,
+        session_count=args.sessions,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(sweep, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    ok = True
+    for entry in sweep["entries"]:
+        serial = entry["serial"]
+        parallel = entry["parallel"]
+        ok = ok and entry["alerts_equal"]
+        rows.append([
+            entry["rules"],
+            entry["prefilter_shards"],
+            f"{serial['sessions_per_second']:,.0f}",
+            f"{parallel['sessions_per_second']:,.0f}",
+            serial["alerts"],
+            "yes" if entry["alerts_equal"] else "NO",
+        ])
+    print(render_table(
+        ["rules", "shards", "serial sess/s", "parallel sess/s", "alerts", "equal"],
+        rows,
+        title=f"rules-vs-throughput ({sweep['session_count']} sessions)",
+    ))
+    return 0 if ok else 1
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
+    command = getattr(args, "rules_command", None)
+    if command == "gen":
+        return _cmd_rules_gen(args)
+    if command == "lint":
+        return _cmd_rules_lint(args)
+    if command == "bench":
+        return _cmd_rules_bench(args)
+
     from repro.exploits.rulegen import generate_all_rule_texts
 
     if args.lint:
@@ -887,7 +967,9 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=_cmd_list)
 
     rules_parser = subparsers.add_parser(
-        "rules", help="dump the generated Snort ruleset"
+        "rules",
+        help="generate, lint, and bench Snort rulesets "
+        "(bare `rules` dumps the study ruleset)",
     )
     rules_parser.add_argument(
         "--no-fp", action="store_true",
@@ -895,9 +977,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rules_parser.add_argument(
         "--lint", action="store_true",
-        help="lint the ruleset instead of printing it",
+        help="lint the study ruleset instead of printing it",
     )
     rules_parser.set_defaults(func=_cmd_rules)
+
+    def _scaled_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--size", type=int, default=1000,
+            help="scaled ruleset size (default 1000)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=20260801,
+            help="generator seed (default 20260801)",
+        )
+        sub.add_argument(
+            "--fodder", type=float, default=0.01,
+            help="fraction of deliberately unsound lint-fodder rules",
+        )
+
+    rules_subparsers = rules_parser.add_subparsers(dest="rules_command")
+    gen_parser = rules_subparsers.add_parser(
+        "gen", help="emit a scaled synthetic ruleset as Snort rule text"
+    )
+    _scaled_args(gen_parser)
+    gen_parser.add_argument(
+        "--dates", action="store_true",
+        help="prefix each rule with a '# published ...' comment",
+    )
+    gen_parser.set_defaults(func=_cmd_rules)
+
+    lint_parser = rules_subparsers.add_parser(
+        "lint",
+        help="lint a scaled ruleset; exit 1 on gating findings that do "
+        "not map to deliberate fodder",
+    )
+    _scaled_args(lint_parser)
+    lint_parser.set_defaults(func=_cmd_rules)
+
+    rules_bench_parser = rules_subparsers.add_parser(
+        "bench", help="rules-vs-throughput sweep (serial and parallel)"
+    )
+    rules_bench_parser.add_argument(
+        "--sizes", default="64,1024,4096,10000",
+        help="comma-separated ruleset sizes",
+    )
+    rules_bench_parser.add_argument(
+        "--sessions", type=int, default=2000,
+        help="synthetic session count per size",
+    )
+    rules_bench_parser.add_argument(
+        "--seed", type=int, default=20260801, help="generator seed"
+    )
+    rules_bench_parser.add_argument(
+        "--workers", type=int, default=2, help="parallel worker count"
+    )
+    rules_bench_parser.add_argument(
+        "--json", action="store_true", help="emit the sweep record as JSON"
+    )
+    rules_bench_parser.set_defaults(func=_cmd_rules)
 
     seeds_parser = subparsers.add_parser(
         "seeds", help="print the Appendix E seed table"

@@ -30,9 +30,18 @@ from repro.nids.engine import DetectionEngine, DetectionStats, ScanTelemetry, sc
 from repro.nids.arena import ArenaFormatError, SessionArena
 from repro.nids.parallel import parallel_scan
 from repro.nids.automaton import AhoCorasick
-from repro.nids.prefilter import RegexPrefilter
+from repro.nids.prefilter import RegexPrefilter, ShardedPrefilter
 from repro.nids.live import LiveDetectionEngine, compare_live_vs_wayback
 from repro.nids.lint import LintFinding, lint_rule, lint_rules
+from repro.nids.scale import (
+    ScaleConfig,
+    ScaledRule,
+    build_scaled_ruleset,
+    generate_scaled,
+    generate_texts,
+    synthesize_sessions,
+    throughput_sweep,
+)
 
 __all__ = [
     "ContentMatch",
@@ -55,6 +64,14 @@ __all__ = [
     "SessionArena",
     "AhoCorasick",
     "RegexPrefilter",
+    "ShardedPrefilter",
+    "ScaleConfig",
+    "ScaledRule",
+    "build_scaled_ruleset",
+    "generate_scaled",
+    "generate_texts",
+    "synthesize_sessions",
+    "throughput_sweep",
     "LiveDetectionEngine",
     "compare_live_vs_wayback",
     "LintFinding",

@@ -123,6 +123,11 @@ def encode_sessions(
 ) -> bytes:
     """Serialize sessions (+ an opaque ruleset blob) into one frame buffer.
 
+    The ruleset blob is opaque bytes to this layer; in practice it is a
+    *source-form* ruleset pickle (``Ruleset.__getstate__`` strips derived
+    compile state), so the segment stays compact even for 10k-rule scaled
+    rulesets — workers recompile once per blob digest and lazily per shard.
+
     Payloads are deduplicated into the heap; everything else is fixed-width,
     so record ``i`` lives at a computable offset and slices decode without
     touching the rest of the buffer.

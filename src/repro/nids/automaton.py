@@ -77,6 +77,12 @@ class AhoCorasick:
     def node_count(self) -> int:
         return len(self._transitions)
 
+    @property
+    def pattern_count(self) -> int:
+        """Number of compiled patterns (API parity with the other engines,
+        used by shard-size accounting and diagnostics)."""
+        return len(self.patterns)
+
     def search(self, haystack: bytes, *, lowered: bool = False) -> Set[int]:
         """Ids of every pattern occurring in the haystack (lowercased).
 

@@ -82,6 +82,16 @@ class ScanTelemetry:
     transfer_seconds: float = 0.0
     pool_reuses: int = 0
     fallback_serial: int = 0
+    #: Sharded-prefilter counters (zero when the prefilter is monolithic):
+    #: shard count of the widest engine seen (merged via ``max``, since
+    #: every worker compiles the *same* partition), shard compiles actually
+    #: performed with their compile time (summed — lazy compilation means a
+    #: worker only pays for shards its payloads touched), and shard-engine
+    #: searches issued.
+    prefilter_shards: int = 0
+    shards_compiled: int = 0
+    shard_compile_seconds: float = 0.0
+    shard_searches: int = 0
     #: Snapshot of the pcre compile cache (hits, misses, maxsize, currsize)
     #: taken when the scan finishes — eviction churn shows up as misses
     #: exceeding the distinct-pattern count.
@@ -139,6 +149,12 @@ class ScanTelemetry:
         self.transfer_seconds += other.transfer_seconds
         self.pool_reuses += other.pool_reuses
         self.fallback_serial += other.fallback_serial
+        # Shard count is a property of the compiled partition, not work
+        # done: identical in every worker, so max (not sum) merges it.
+        self.prefilter_shards = max(self.prefilter_shards, other.prefilter_shards)
+        self.shards_compiled += other.shards_compiled
+        self.shard_compile_seconds += other.shard_compile_seconds
+        self.shard_searches += other.shard_searches
         if other.pcre_cache is not None:
             self.pcre_cache = other.pcre_cache
 
@@ -175,6 +191,10 @@ class ScanTelemetry:
             "transfer_seconds": self.transfer_seconds,
             "pool_reuses": self.pool_reuses,
             "fallback_serial": self.fallback_serial,
+            "prefilter_shards": self.prefilter_shards,
+            "shards_compiled": self.shards_compiled,
+            "shard_compile_seconds": self.shard_compile_seconds,
+            "shard_searches": self.shard_searches,
             "pcre_cache": self.pcre_cache,
         }
 
@@ -202,6 +222,10 @@ class ScanTelemetry:
         "transfer_seconds",
         "pool_reuses",
         "fallback_serial",
+        "prefilter_shards",
+        "shards_compiled",
+        "shard_compile_seconds",
+        "shard_searches",
     )
 
     @classmethod
@@ -271,6 +295,10 @@ def scan_stream(
     """
     ruleset._ensure_compiled()
     telemetry = ScanTelemetry(engine=ruleset.prefilter_engine)
+    # Shard counters are cumulative on the ruleset (it outlives scans and is
+    # digest-cached in workers), so the stream records the *delta* — deltas
+    # sum correctly when parallel workers merge their telemetry.
+    shard_stats_before = ruleset.prefilter_stats()
     started = perf_counter()
     items = sessions if isinstance(sessions, list) else list(sessions)
     scanned = len(items)
@@ -358,6 +386,18 @@ def scan_stream(
     telemetry.payload_bytes = sum(len(session.payload) for session in items)
     telemetry.scan_seconds = perf_counter() - started
     telemetry.wall_seconds = telemetry.scan_seconds
+    shard_stats = ruleset.prefilter_stats()
+    telemetry.prefilter_shards = int(shard_stats["prefilter_shards"])
+    telemetry.shards_compiled = int(
+        shard_stats["shards_compiled"] - shard_stats_before["shards_compiled"]
+    )
+    telemetry.shard_compile_seconds = (
+        shard_stats["shard_compile_seconds"]
+        - shard_stats_before["shard_compile_seconds"]
+    )
+    telemetry.shard_searches = int(
+        shard_stats["shard_searches"] - shard_stats_before["shard_searches"]
+    )
     telemetry.snapshot_pcre_cache()
     return alerts, scanned, telemetry
 

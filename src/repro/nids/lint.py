@@ -81,7 +81,12 @@ def lint_rule(rule: Rule) -> List[LintFinding]:
 
     if contents:
         lowered = [option.pattern.lower() for option in contents]
-        generic = any(
+        # Fire when *every* positive content is a generic endpoint and none
+        # carries exploit structure: a rule anchored on several benign paths
+        # is exactly as unsound as one anchored on a single benign path
+        # (each extra generic content only narrows *which* benign traffic
+        # false-positives, not whether it does).
+        all_generic = all(
             any(endpoint in pattern for endpoint in _GENERIC_ENDPOINTS)
             for pattern in lowered
         )
@@ -89,14 +94,15 @@ def lint_rule(rule: Rule) -> List[LintFinding]:
             any(hint in pattern for hint in _STRUCTURE_HINTS)
             for pattern in lowered
         )
-        if generic and not structured and len(contents) == 1:
+        if all_generic and not structured:
             findings.append(
                 LintFinding(
                     sid=rule.sid,
                     check="generic-endpoint",
                     message=(
-                        "single content matches a common endpoint with no "
-                        "exploit structure; will fire on benign access"
+                        "every positive content matches a common endpoint "
+                        "with no exploit structure; will fire on benign "
+                        "access"
                     ),
                 )
             )

@@ -17,7 +17,12 @@ plane is built around three ideas:
   segment; workers — on *every* start method — receive only ``(start,
   stop)`` index pairs, attach to the segment by name, decode just their
   slice through memoryviews, and cache the compiled ruleset by digest, so
-  repeated scans ship zero bytes of ruleset;
+  repeated scans ship zero bytes of ruleset.  The ruleset pickles in
+  *source* form (``Ruleset.__getstate__`` drops every derived table, so
+  the blob stays compact even at 10k-rule scale); each worker compiles
+  once per digest, and with a sharded prefilter the shards themselves
+  compile lazily — only on the first chunk whose payloads search them —
+  and stay warm in the digest cache for every later chunk and scan;
 * a **persistent warm pool** (:class:`WorkerPool`): worker processes are
   started lazily and *reused* across scans, pipeline stages, and repeated
   ``run_study`` calls instead of being re-forked per scan (``pool_reuses``

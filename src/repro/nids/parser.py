@@ -32,9 +32,15 @@ class RuleParseError(ValueError):
     """Raised when rule text cannot be parsed."""
 
 
+# An address or port field is either a bracketed list — which may contain
+# spaces, e.g. ``[80, 8080]``, valid Snort — or a single bare token.
+_HEADER_FIELD = r"(?:\[[^\]]*\]|\S+)"
+
 _HEADER_RE = re.compile(
-    r"^\s*(?P<action>\w+)\s+(?P<proto>\w+)\s+(?P<src>\S+)\s+(?P<sports>\S+)\s+"
-    r"(?P<dir>->|<>)\s+(?P<dst>\S+)\s+(?P<dports>\S+)\s*\((?P<options>.*)\)\s*$",
+    r"^\s*(?P<action>\w+)\s+(?P<proto>\w+)"
+    rf"\s+(?P<src>{_HEADER_FIELD})\s+(?P<sports>{_HEADER_FIELD})\s+"
+    rf"(?P<dir>->|<>)\s+(?P<dst>{_HEADER_FIELD})\s+(?P<dports>{_HEADER_FIELD})"
+    r"\s*\((?P<options>.*)\)\s*$",
     re.DOTALL,
 )
 
@@ -84,6 +90,23 @@ def _split_options(text: str) -> List[str]:
     return options
 
 
+def _content_byte(char: str) -> int:
+    """One content character as a byte (latin-1); raises on non-latin-1.
+
+    Content patterns are byte strings: characters U+0000..U+00FF map to
+    their latin-1 byte, anything beyond has no single-byte encoding and
+    must be written as a ``|hex|`` run instead of crashing the parser with
+    a bare ``bytearray`` range error.
+    """
+    code = ord(char)
+    if code > 0xFF:
+        raise RuleParseError(
+            f"non-latin-1 character {char!r} in content pattern; "
+            "encode it as a |hex| run (e.g. UTF-8 bytes)"
+        )
+    return code
+
+
 def _decode_content(text: str) -> bytes:
     """Decode a quoted content pattern with Snort escapes and |hex| runs."""
     if not (text.startswith('"') and text.endswith('"') and len(text) >= 2):
@@ -96,7 +119,7 @@ def _decode_content(text: str) -> bytes:
         if char == "\\":
             if index + 1 >= len(body):
                 raise RuleParseError("dangling escape in content")
-            out.append(ord(body[index + 1]))
+            out.append(_content_byte(body[index + 1]))
             index += 2
         elif char == "|":
             end = body.find("|", index + 1)
@@ -108,9 +131,44 @@ def _decode_content(text: str) -> bytes:
             out.extend(bytes.fromhex(hex_text))
             index = end + 1
         else:
-            out.append(ord(char))
+            out.append(_content_byte(char))
             index += 1
     return bytes(out)
+
+
+def encode_content(pattern: bytes) -> str:
+    """Render raw bytes as a Snort content body (inverse of
+    :func:`_decode_content`): printable ASCII stays literal, everything
+    else — including the quote/semicolon/backslash/pipe specials — becomes
+    a ``|hex|`` run.  Shared by the rule generators so every rendered rule
+    round-trips through :func:`parse_rule`."""
+    out: List[str] = []
+    hex_run: List[str] = []
+
+    def flush_hex() -> None:
+        if hex_run:
+            out.append("|" + " ".join(hex_run) + "|")
+            hex_run.clear()
+
+    for byte in pattern:
+        if 0x20 <= byte < 0x7F and chr(byte) not in ('"', ";", "\\", "|"):
+            flush_hex()
+            out.append(chr(byte))
+        else:
+            hex_run.append(f"{byte:02X}")
+    flush_hex()
+    return "".join(out)
+
+
+def _int_option(key: str, value: str) -> int:
+    """Parse an integer option value; malformed input is a parse error
+    (with the option named), not a bare ``ValueError`` traceback."""
+    try:
+        return int(value)
+    except ValueError:
+        raise RuleParseError(
+            f"option {key} requires an integer, got {value!r}"
+        ) from None
 
 
 def _parse_pcre(value: str) -> PcreMatch:
@@ -139,13 +197,29 @@ def _parse_pcre(value: str) -> PcreMatch:
 
 
 def parse_rule(text: str) -> Rule:
-    """Parse one rule; raises :class:`RuleParseError` on malformed input."""
+    """Parse one rule; raises :class:`RuleParseError` on malformed input.
+
+    Every parse failure is a :class:`RuleParseError` carrying the offending
+    rule's head — at generated-ruleset volume, an error without rule context
+    is undebuggable — never a bare ``ValueError`` from an ``int()`` or
+    ``bytearray`` internal.
+    """
     stripped = text.strip()
     if not stripped or stripped.startswith("#"):
         raise RuleParseError("empty or comment line")
+    try:
+        return _parse_stripped(stripped)
+    except RuleParseError as error:
+        message = str(error)
+        if "(rule: " in message:  # pragma: no cover - already annotated
+            raise
+        raise RuleParseError(f"{message} (rule: {stripped[:80]!r})") from None
+
+
+def _parse_stripped(stripped: str) -> Rule:
     match = _HEADER_RE.match(stripped)
     if match is None:
-        raise RuleParseError(f"unparseable rule header: {text[:80]!r}")
+        raise RuleParseError("unparseable rule header")
 
     buffer_modifiers = {
         "http_uri": HttpBuffer.HTTP_URI,
@@ -183,7 +257,13 @@ def parse_rule(text: str) -> Rule:
         key = key.strip()
         value = value.strip()
         if key == "msg":
-            msg = value.strip('"')
+            # Strip exactly one matched surrounding quote pair: stripping
+            # *all* quote characters mangles messages with embedded or
+            # doubled quotes (e.g. ``""quoted""``).
+            if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+                msg = value[1:-1]
+            else:
+                msg = value
         elif key == "content":
             negated = value.startswith("!")
             if negated:
@@ -206,16 +286,32 @@ def parse_rule(text: str) -> Rule:
             )
         elif key in ("offset", "depth", "distance", "within"):
             replace_last_content(
-                dataclasses.replace(last_content(), **{key: int(value)})
+                dataclasses.replace(
+                    last_content(), **{key: _int_option(key, value)}
+                )
             )
         elif key in ("urilen", "dsize"):
-            options.append(SizeBound.parse(key, value))
+            try:
+                options.append(SizeBound.parse(key, value))
+            except RuleParseError:
+                raise
+            except ValueError as error:
+                raise RuleParseError(
+                    f"bad {key} option {value!r}: {error}"
+                ) from None
         elif key == "isdataat":
-            options.append(IsDataAt.parse(value))
+            try:
+                options.append(IsDataAt.parse(value))
+            except RuleParseError:
+                raise
+            except ValueError as error:
+                raise RuleParseError(
+                    f"bad isdataat option {value!r}: {error}"
+                ) from None
         elif key == "sid":
-            sid = int(value)
+            sid = _int_option(key, value)
         elif key == "rev":
-            rev = int(value)
+            rev = _int_option(key, value)
         elif key == "reference":
             scheme, _, ref_value = value.partition(",")
             references.append((scheme.strip(), ref_value.strip()))
@@ -236,13 +332,23 @@ def parse_rule(text: str) -> Rule:
     if sid is None:
         raise RuleParseError("rule missing sid")
 
+    def _ports(which: str, text_value: str) -> PortSpec:
+        try:
+            return PortSpec.parse(text_value)
+        except RuleParseError:
+            raise
+        except ValueError as error:
+            raise RuleParseError(
+                f"bad {which} port spec {text_value!r}: {error}"
+            ) from None
+
     return Rule(
         action=match.group("action"),
         protocol=match.group("proto"),
         src=match.group("src"),
-        src_ports=PortSpec.parse(match.group("sports")),
+        src_ports=_ports("source", match.group("sports")),
         dst=match.group("dst"),
-        dst_ports=PortSpec.parse(match.group("dports")),
+        dst_ports=_ports("destination", match.group("dports")),
         msg=msg,
         sid=sid,
         rev=rev,

@@ -130,6 +130,20 @@ class PortSpec:
         )
         return not inside if self.negated else inside
 
+    def _key(self) -> Tuple[bool, frozenset, Tuple[Tuple[int, int], ...], bool]:
+        return (self.any_port, self.ports, tuple(sorted(self.ranges)), self.negated)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (same accepted port set as written), so a
+        rendered rule's :class:`Rule` compares equal after a parse
+        round-trip."""
+        if not isinstance(other, PortSpec):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.any_port:
             return "PortSpec(any)"

@@ -51,7 +51,7 @@ from repro.nids.matcher import (
     _compiled as _compiled_pcre,
     match_rule,
 )
-from repro.nids.prefilter import RegexPrefilter
+from repro.nids.prefilter import DEFAULT_SHARD_SIZE, RegexPrefilter, ShardedPrefilter
 from repro.nids.rule import ContentMatch, IsDataAt, PcreMatch, Rule, SizeBound
 
 #: Environment variable naming the prefilter engine (``regex`` or ``aho``).
@@ -60,6 +60,18 @@ PREFILTER_ENV = "REPRO_PREFILTER"
 
 #: Valid prefilter engine names.
 PREFILTER_ENGINES = ("regex", "aho")
+
+#: Environment variable forcing a prefilter shard count.  ``1`` forces the
+#: monolithic engine; ``N > 1`` forces N shards; unset/empty means *auto*
+#: (shard only past :data:`AUTO_SHARD_MIN_PATTERNS` distinct fast patterns).
+#: An explicit ``Ruleset(shards=...)`` argument wins over the variable.
+PREFILTER_SHARDS_ENV = "REPRO_PREFILTER_SHARDS"
+
+#: Auto-sharding kicks in at this many *distinct* fast patterns.  Below it a
+#: single compiled engine is cheap and marginally faster to search; above it
+#: the monolithic compile dominates first-scan latency, and lazy per-shard
+#: compilation amortises it across the scan (see DESIGN.md §14 break-even).
+AUTO_SHARD_MIN_PATTERNS = 4096
 
 
 def resolve_prefilter_engine(prefilter: Optional[str] = None) -> str:
@@ -72,6 +84,27 @@ def resolve_prefilter_engine(prefilter: Optional[str] = None) -> str:
             f"expected one of {PREFILTER_ENGINES}"
         )
     return engine
+
+
+def resolve_prefilter_shards(shards: Optional[int] = None) -> Optional[int]:
+    """The shard policy: explicit argument, else environment, else auto.
+
+    Returns ``None`` for auto (size-based), ``1`` for forced-monolithic, or
+    a forced shard count ``>= 2``.
+    """
+    if shards is None:
+        raw = os.environ.get(PREFILTER_SHARDS_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{PREFILTER_SHARDS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if shards < 1:
+        raise ValueError(f"prefilter shards must be >= 1, got {shards}")
+    return shards
 
 
 @dataclass(frozen=True)
@@ -240,7 +273,13 @@ class Ruleset:
 
     ``port_insensitive`` (default True, per the paper) rewrites every rule
     to drop port constraints before matching.  ``prefilter`` selects the
-    fast-pattern engine (see :func:`resolve_prefilter_engine`).
+    fast-pattern engine (see :func:`resolve_prefilter_engine`).  ``shards``
+    selects the prefilter shard policy (see
+    :func:`resolve_prefilter_shards`): at Snort-scale rule counts the fast
+    patterns are partitioned across lazily compiled shards, which nominate
+    the same candidate groups as the monolithic engine — the downstream
+    publication-ordered merge is shard-agnostic, so alerts are
+    byte-identical either way (``tests/test_rule_scale.py``).
     """
 
     def __init__(
@@ -248,14 +287,17 @@ class Ruleset:
         *,
         port_insensitive: bool = True,
         prefilter: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self._rules: List[Tuple[Rule, datetime]] = []
         self._sid_index: Dict[int, int] = {}
         self._port_insensitive = port_insensitive
         self._engine = resolve_prefilter_engine(prefilter)
+        self._shards = resolve_prefilter_shards(shards)
         self._fast_patterns: List[Optional[bytes]] = []
         self._automaton: Optional[AhoCorasick] = None
         self._prefilter: Optional[RegexPrefilter] = None
+        self._sharded: Optional[ShardedPrefilter] = None
         self._pattern_rules: List[List[int]] = []
         self._unfiltered: List[int] = []
         # Ordered fast-path tables, rebuilt by _compile().
@@ -363,12 +405,24 @@ class Ruleset:
                 patterns.append(pattern)
                 self._pattern_rules.append([])
             self._pattern_rules[pattern_id].append(index)
-        if self._engine == "aho":
-            self._automaton = AhoCorasick(patterns) if patterns else None
-            self._prefilter = None
-        else:
-            self._prefilter = RegexPrefilter(patterns) if patterns else None
-            self._automaton = None
+        self._automaton = None
+        self._prefilter = None
+        self._sharded = None
+        if patterns:
+            if self._use_sharding(len(patterns)):
+                shard_count = (
+                    self._shards if self._shards and self._shards > 1 else None
+                )
+                self._sharded = ShardedPrefilter(
+                    patterns,
+                    shard_count=shard_count,
+                    shard_size=DEFAULT_SHARD_SIZE,
+                    engine=self._engine,
+                )
+            elif self._engine == "aho":
+                self._automaton = AhoCorasick(patterns)
+            else:
+                self._prefilter = RegexPrefilter(patterns)
 
         # Publication order: rank every rule by (published, insertion index)
         # once, then keep each pattern group's rule list sorted by that rank.
@@ -396,9 +450,90 @@ class Ruleset:
         if not self._compiled:
             self._compile()
 
+    def _use_sharding(self, pattern_count: int) -> bool:
+        """Whether this ruleset's fast patterns get a sharded engine."""
+        if self._shards is not None:
+            return self._shards > 1
+        return pattern_count >= AUTO_SHARD_MIN_PATTERNS
+
+    @property
+    def prefilter_shards(self) -> int:
+        """Shard count of the compiled prefilter (0 when monolithic)."""
+        self._ensure_compiled()
+        return self._sharded.shard_count if self._sharded is not None else 0
+
+    def prefilter_stats(self) -> Dict[str, float]:
+        """Cumulative shard counters for :class:`~repro.nids.engine.ScanTelemetry`.
+
+        The scan loop snapshots this before and after a stream and records
+        the *delta*, so counters sum correctly when parallel workers merge
+        their telemetry.  All zeros for a monolithic prefilter.
+        """
+        sharded = self._sharded if self._compiled else None
+        if sharded is None:
+            return {
+                "prefilter_shards": 0,
+                "shards_compiled": 0,
+                "shard_compile_seconds": 0.0,
+                "shard_searches": 0,
+            }
+        return {
+            "prefilter_shards": sharded.shard_count,
+            "shards_compiled": sharded.shards_compiled,
+            "shard_compile_seconds": sharded.compile_seconds,
+            "shard_searches": sharded.searches,
+        }
+
     def _search_engine(self):
         """The active multi-pattern matcher (engine objects are API-equal)."""
+        if self._sharded is not None:
+            return self._sharded
         return self._prefilter if self._prefilter is not None else self._automaton
+
+    # -- pickling -----------------------------------------------------------
+    #
+    # The arena plane ships one pickled ruleset blob to every worker.  All
+    # compiled state (prefilter engines, plans, rank tables) is derived from
+    # the rule list, so the blob carries only the source tables and each
+    # worker recompiles once per ruleset digest (cached in
+    # ``parallel._worker_rulesets``); shards then compile lazily on the first
+    # chunk that searches them.  This keeps the shared-memory blob compact
+    # at 10k-rule scale instead of serialising thousands of compiled
+    # regexes.
+
+    _DERIVED_SLOTS = (
+        "_automaton",
+        "_prefilter",
+        "_sharded",
+        "_pattern_rules",
+        "_unfiltered",
+        "_groups",
+        "_unfiltered_ordered",
+        "_rank",
+        "_plans",
+        "_alert_meta",
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        for slot in self._DERIVED_SLOTS:
+            state.pop(slot, None)
+        state["_compiled"] = False
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._automaton = None
+        self._prefilter = None
+        self._sharded = None
+        self._pattern_rules = []
+        self._unfiltered = []
+        self._groups = []
+        self._unfiltered_ordered = array("l")
+        self._rank = array("l")
+        self._plans = []
+        self._alert_meta = []
+        self._compiled = False
 
     def _candidates(self, payload: bytes) -> List[int]:
         """Rule indices whose fast pattern occurs (plus unfiltered rules)."""

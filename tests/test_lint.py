@@ -38,6 +38,27 @@ class TestChecks:
         )
         assert not any(f.check == "generic-endpoint" for f in findings)
 
+    def test_all_generic_multi_content_flagged(self):
+        # Regression: the pre-fix check only fired on single-content rules,
+        # so stacking a second benign path silenced it — even though two
+        # generic anchors are exactly as unsound as one.
+        findings = lint_rule(
+            _rule(
+                'content:"/login.cgi"; http_uri; content:"/admin/config"; '
+                "reference:cve,2021-1;"
+            )
+        )
+        assert any(f.check == "generic-endpoint" for f in findings)
+
+    def test_generic_plus_structured_not_flagged(self):
+        findings = lint_rule(
+            _rule(
+                'content:"/login.cgi"; http_uri; content:"x=${jndi"; '
+                "reference:cve,2021-1;"
+            )
+        )
+        assert not any(f.check == "generic-endpoint" for f in findings)
+
     def test_two_anchors_not_generic(self):
         findings = lint_rule(
             _rule(

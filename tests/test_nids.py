@@ -192,6 +192,55 @@ class TestParser:
         with pytest.raises(RuleParseError):
             parse_rule('alert tcp any any -> any any (msg:"m"; pcre:"/x/Z"; sid:1;)')
 
+    # -- regressions surfaced by the scaled-ruleset generator ----------------
+
+    def test_bracketed_ports_with_spaces(self):
+        # Valid Snort; the pre-fix header regex split `[80, 8080]` at the
+        # space and misparsed the whole header.
+        rule = parse_rule(
+            'alert tcp $EXTERNAL_NET any -> $HOME_NET [80, 8080] '
+            '(msg:"m"; content:"xyzzy"; sid:1;)'
+        )
+        assert rule.dst_ports.matches(80)
+        assert rule.dst_ports.matches(8080)
+        assert not rule.dst_ports.matches(81)
+
+    def test_non_latin1_content_is_parse_error(self):
+        # Pre-fix: a bare ValueError out of bytearray.append, no rule context.
+        with pytest.raises(RuleParseError, match="non-latin-1"):
+            parse_rule('alert tcp any any -> any any (msg:"m"; content:"sn☃wman"; sid:1;)')
+
+    def test_latin1_content_decodes(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:"m"; content:"café"; sid:1;)'
+        )
+        assert rule.options[0].pattern == b"caf\xe9"
+
+    @pytest.mark.parametrize(
+        "option", ["offset:abc", "depth:1.5", "within:x", "sid:notanint"]
+    )
+    def test_malformed_int_option_is_parse_error(self, option):
+        # Pre-fix: int() raised a bare ValueError mid-parse.
+        name = option.split(":")[0]
+        sid = "" if name == "sid" else " sid:1;"
+        with pytest.raises(RuleParseError, match=name):
+            parse_rule(
+                f'alert tcp any any -> any any (msg:"m"; content:"abcd"; '
+                f"{option};{sid})"
+            )
+
+    def test_parse_error_carries_rule_text(self):
+        with pytest.raises(RuleParseError, match=r"\(rule: "):
+            parse_rule('alert tcp any any -> any any (msg:"m"; offset:zz; sid:1;)')
+
+    def test_msg_strips_exactly_one_quote_pair(self):
+        # Pre-fix ``.strip('"')`` ate *all* leading/trailing quotes,
+        # mangling doubled-quote messages.
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:""quoted""; content:"x"; sid:1;)'
+        )
+        assert rule.msg == '"quoted"'
+
 
 class TestMatcher:
     def _rule(self, *options, ports="any"):

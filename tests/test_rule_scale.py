@@ -1,0 +1,326 @@
+"""Tests for the synthetic ruleset scaler and the sharded prefilter.
+
+Two invariants anchor everything here:
+
+* **round-trip** — every generated rule's text parses back to the exact
+  :class:`~repro.nids.rule.Rule` AST recorded at generation time
+  (``parse_rule(scaled.text) == scaled.rule``), checked both on a fixed
+  volume and as a hypothesis property over arbitrary (seed, index) pairs;
+* **shard transparency** — a sharded prefilter changes *when* patterns are
+  compiled, never *what* the scan produces: alerts, their order, and the
+  candidate telemetry are byte-identical to the monolithic engine, serial
+  and parallel, regex and aho, with and without injected worker faults.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nids import ruleset as ruleset_mod
+from repro.nids.engine import ScanTelemetry, scan_stream
+from repro.nids.parallel import parallel_scan
+from repro.nids.parser import parse_rule
+from repro.nids.prefilter import RegexPrefilter, ShardedPrefilter
+from repro.nids.ruleset import (
+    AUTO_SHARD_MIN_PATTERNS,
+    PREFILTER_SHARDS_ENV,
+    Ruleset,
+    resolve_prefilter_shards,
+)
+from repro.nids.scale import (
+    GATING_CHECKS,
+    WINDOW_START,
+    ScaleConfig,
+    _generate_one,
+    build_scaled_ruleset,
+    generate_scaled,
+    generate_texts,
+    lint_scaled,
+    synthesize_sessions,
+    throughput_sweep,
+    unexpected_findings,
+)
+
+SIZE = 300  #: big enough for every option/port branch; small enough to be fast
+
+
+@pytest.fixture(scope="module")
+def scaled():
+    return generate_scaled(ScaleConfig(size=SIZE))
+
+
+@pytest.fixture(scope="module")
+def sessions(scaled):
+    return synthesize_sessions(400, scaled)
+
+
+class TestGeneration:
+    def test_deterministic(self, scaled):
+        again = generate_scaled(ScaleConfig(size=SIZE))
+        assert [s.text for s in again] == [s.text for s in scaled]
+
+    def test_prefix_stable(self, scaled):
+        prefix = generate_texts(ScaleConfig(size=64))
+        assert prefix == [s.text for s in scaled][:64]
+
+    def test_different_seed_differs(self, scaled):
+        other = generate_texts(ScaleConfig(size=SIZE, seed=1))
+        assert other != [s.text for s in scaled]
+
+    def test_round_trip_at_volume(self, scaled):
+        for item in scaled:
+            assert parse_rule(item.text) == item.rule
+
+    def test_sids_unique_and_sequenced(self, scaled):
+        sids = [item.rule.sid for item in scaled]
+        assert sids == list(range(scaled[0].rule.sid, scaled[0].rule.sid + SIZE))
+
+    def test_published_within_window(self, scaled):
+        config = ScaleConfig(size=SIZE)
+        for item in scaled:
+            delta = item.published - WINDOW_START
+            assert 0 <= delta.days < config.window_days
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScaleConfig(size=0)
+        with pytest.raises(ValueError):
+            ScaleConfig(fodder_fraction=1.5)
+
+    def test_lint_gate(self, scaled):
+        counts, unexpected = lint_scaled(scaled)
+        assert unexpected == []
+        # The expected-at-volume findings fire (the ruleset is realistic),
+        # but only on the scale the generator promises.
+        assert counts.get("port-constrained", 0) > 0
+
+    def test_unexpected_findings_catches_non_fodder(self, scaled):
+        from repro.nids.lint import LintFinding
+
+        planted = LintFinding(
+            sid=scaled[0].rule.sid, check=GATING_CHECKS[0], message="planted"
+        )
+        assert scaled[0].fodder is None
+        assert unexpected_findings(scaled, [planted]) == [planted]
+
+
+class TestRoundTripProperty:
+    @given(seed=st.integers(min_value=0, max_value=2**31), index=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_any_rule_round_trips(self, seed, index):
+        item = _generate_one(ScaleConfig(size=1, seed=seed), index)
+        parsed = parse_rule(item.text)
+        assert parsed == item.rule
+        assert parsed.options == item.rule.options
+        assert parsed.dst_ports == item.rule.dst_ports
+        assert parsed.references == item.rule.references
+        assert parsed.rev == item.rule.rev
+
+
+class TestShardedPrefilter:
+    PATTERNS = [b"alpha", b"alphabet", b"beta", b"gamma", b"delta-long-pattern",
+                b"${jndi:", b"${jndi:ldap", b"zz"]
+
+    def test_matches_monolithic(self):
+        mono = RegexPrefilter(self.PATTERNS)
+        sharded = ShardedPrefilter(self.PATTERNS, shard_size=3)
+        haystacks = (
+            b"the alphabet has beta in it", b"${jndi:ldap://x}", b"nothing",
+            b"zz top gamma delta-long-pattern",
+        )
+        for haystack in haystacks:
+            assert sharded.search(haystack) == mono.search(haystack)
+            assert sharded.contains_any(haystack) == mono.contains_any(haystack)
+
+    def test_aho_engine_matches_regex_engine(self):
+        regex = ShardedPrefilter(self.PATTERNS, shard_size=3, engine="regex")
+        aho = ShardedPrefilter(self.PATTERNS, shard_size=3, engine="aho")
+        haystack = b"alphabet ${jndi:ldap zz"
+        assert aho.search(haystack) == regex.search(haystack)
+
+    def test_shard_count_override(self):
+        sharded = ShardedPrefilter(self.PATTERNS, shard_count=3)
+        assert sharded.shard_count == 3
+        assert sharded.pattern_count == len(set(self.PATTERNS))
+
+    def test_lazy_compile_counters(self):
+        sharded = ShardedPrefilter(self.PATTERNS, shard_size=3)
+        assert sharded.shards_compiled == 0
+        sharded.search(b"alphabet zz")
+        assert sharded.shards_compiled == sharded.shard_count
+        assert sharded.compile_seconds > 0
+        assert sharded.searches == 1
+        sharded.search(b"alphabet")  # no recompiles on a second search
+        assert sharded.shards_compiled == sharded.shard_count
+
+    def test_pickle_drops_compiled_engines(self):
+        sharded = ShardedPrefilter(self.PATTERNS, shard_size=3)
+        reference = sharded.search(b"alphabet ${jndi:ldap")
+        assert sharded.shards_compiled > 0
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert clone.shards_compiled == 0  # recompiles lazily at destination
+        assert clone.search(b"alphabet ${jndi:ldap") == reference
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedPrefilter(self.PATTERNS, engine="hyperscan")
+
+    def test_empty_pattern_table_tolerated(self):
+        sharded = ShardedPrefilter([])
+        assert sharded.search(b"anything") == set()
+        assert not sharded.contains_any(b"anything")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedPrefilter([b"ok", b""])
+
+
+class TestRulesetSharding:
+    def test_env_and_argument_resolution(self, monkeypatch):
+        monkeypatch.delenv(PREFILTER_SHARDS_ENV, raising=False)
+        assert resolve_prefilter_shards(None) is None
+        assert resolve_prefilter_shards(4) == 4
+        monkeypatch.setenv(PREFILTER_SHARDS_ENV, "6")
+        assert resolve_prefilter_shards(None) == 6
+        assert resolve_prefilter_shards(2) == 2  # argument wins
+        monkeypatch.setenv(PREFILTER_SHARDS_ENV, "bogus")
+        with pytest.raises(ValueError):
+            resolve_prefilter_shards(None)
+        with pytest.raises(ValueError):
+            resolve_prefilter_shards(0)
+
+    def test_forced_sharding_and_shard_count(self, scaled):
+        ruleset = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=4)
+        assert ruleset.prefilter_shards == 4
+        mono = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=1)
+        assert mono.prefilter_shards == 0
+
+    def test_auto_sharding_threshold(self, monkeypatch):
+        monkeypatch.setattr(ruleset_mod, "AUTO_SHARD_MIN_PATTERNS", 8)
+        ruleset = build_scaled_ruleset(ScaleConfig(size=64))
+        assert ruleset.prefilter_shards >= 1
+        assert AUTO_SHARD_MIN_PATTERNS == 4096  # the real default untouched
+
+    def test_prefilter_stats_monolithic_is_zero(self):
+        ruleset = build_scaled_ruleset(ScaleConfig(size=16))
+        stats = ruleset.prefilter_stats()
+        assert stats["prefilter_shards"] == 0
+        assert stats["shards_compiled"] == 0
+
+    def test_compact_pickle_round_trips(self, scaled, sessions):
+        ruleset = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=3)
+        reference, _, _ = scan_stream(ruleset, sessions)
+        blob = pickle.dumps(ruleset)
+        clone = pickle.loads(blob)
+        alerts, _, _ = scan_stream(clone, sessions)
+        assert alerts == reference
+        # Derived compile state (plans, groups, shard engines) is rebuilt at
+        # the destination, never shipped.
+        state = pickle.loads(pickle.dumps(ruleset)).__dict__
+        assert state["_compiled"] is False
+
+
+class TestShardedScanEquivalence:
+    """Alerts must be byte-identical sharded vs monolithic, however scanned."""
+
+    @pytest.mark.parametrize("engine", ["regex", "aho"])
+    def test_serial(self, scaled, sessions, engine):
+        mono = build_scaled_ruleset(
+            ScaleConfig(size=SIZE), prefilter=engine, shards=1
+        )
+        sharded = build_scaled_ruleset(
+            ScaleConfig(size=SIZE), prefilter=engine, shards=5
+        )
+        reference, scanned, _ = scan_stream(mono, sessions)
+        alerts, sharded_scanned, telemetry = scan_stream(sharded, sessions)
+        assert reference  # never vacuous
+        assert alerts == reference
+        assert sharded_scanned == scanned
+        assert telemetry.prefilter_shards == 5
+        assert telemetry.shards_compiled == 5  # first scan compiles them all
+
+    def test_parallel(self, scaled, sessions):
+        mono = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=1)
+        reference, _, _ = scan_stream(mono, sessions)
+        sharded = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=4)
+        alerts, scanned, telemetry = parallel_scan(
+            sharded, sessions, workers=2, threshold=0
+        )
+        assert alerts == reference
+        assert scanned == len(sessions)
+        assert telemetry.prefilter_shards == 4
+        # Each worker compiles its own shards lazily; the merged counter is
+        # the per-worker sum, so it lands between one full compile and
+        # workers * shards.
+        assert 4 <= telemetry.shards_compiled <= 8
+
+    @pytest.mark.parametrize("fault", ["worker_crash:0:1", "chunk_error:1"])
+    def test_parallel_with_faults(self, scaled, sessions, monkeypatch, fault):
+        mono = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=1)
+        reference, _, _ = scan_stream(mono, sessions)
+        monkeypatch.setenv("REPRO_FAULT", fault)
+        sharded = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=4)
+        alerts, scanned, telemetry = parallel_scan(
+            sharded, sessions, workers=2, threshold=0
+        )
+        assert alerts == reference
+        assert scanned == len(sessions)
+        recovered = (
+            telemetry.chunk_retries
+            + telemetry.pool_respawns
+            + telemetry.recovered_chunks
+        )
+        assert recovered >= 1  # the fault actually fired
+
+    def test_second_scan_compiles_nothing(self, scaled, sessions):
+        ruleset = build_scaled_ruleset(ScaleConfig(size=SIZE), shards=3)
+        _, _, first = scan_stream(ruleset, sessions)
+        _, _, second = scan_stream(ruleset, sessions)
+        assert first.shards_compiled == 3
+        assert second.shards_compiled == 0  # telemetry reports deltas
+        assert second.prefilter_shards == 3
+
+
+class TestTelemetryShardCounters:
+    def test_merge_semantics(self):
+        left = ScanTelemetry(
+            prefilter_shards=4, shards_compiled=4,
+            shard_compile_seconds=0.5, shard_searches=10,
+        )
+        right = ScanTelemetry(
+            prefilter_shards=4, shards_compiled=2,
+            shard_compile_seconds=0.25, shard_searches=7,
+        )
+        left.merge(right)
+        assert left.prefilter_shards == 4  # partition property: max, not sum
+        assert left.shards_compiled == 6
+        assert left.shard_compile_seconds == pytest.approx(0.75)
+        assert left.shard_searches == 17
+
+    def test_dict_round_trip(self):
+        telemetry = ScanTelemetry(
+            prefilter_shards=3, shards_compiled=3,
+            shard_compile_seconds=0.1, shard_searches=5,
+        )
+        record = telemetry.as_dict()
+        for key in (
+            "prefilter_shards", "shards_compiled",
+            "shard_compile_seconds", "shard_searches",
+        ):
+            assert key in record
+        restored = ScanTelemetry.from_dict(record)
+        assert restored.prefilter_shards == 3
+        assert restored.shard_searches == 5
+
+
+class TestThroughputSweep:
+    def test_small_sweep_schema(self):
+        sweep = throughput_sweep(sizes=(16, 48), session_count=60, workers=2)
+        assert sweep["sizes"] == [16, 48]
+        assert len(sweep["entries"]) == 2
+        for entry in sweep["entries"]:
+            assert entry["alerts_equal"] is True
+            assert entry["serial"]["seconds"] >= 0
+            assert entry["parallel"]["workers"] == 2
