@@ -21,8 +21,9 @@ from repro.analysis.pipeline import StudyConfig, run_study
 from repro.core.bootstrap import bootstrap_skill
 from repro.core.histories import HOUSEHOLDER_SPRING_MODEL
 from repro.core.skill import compute_skill, mean_skill
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
 from repro.datasets.seed_cves import STUDY_WINDOW
+from repro.datasets.sources import default_plan
 from repro.exploits.rulegen import build_study_ruleset
 from repro.lifecycle.assembly import assemble_timelines
 from repro.lifecycle.exploit_events import events_by_cve, events_from_alerts
@@ -75,7 +76,9 @@ def test_ablation_rule_feed_delay(benchmark, results_dir):
     def sweep():
         rows = []
         for delay in (0, 7, 30, 90):
-            bundle = build_datasets(rule_delay_days=delay, background_count=100)
+            bundle = build_bundle(
+                default_plan(rule_delay_days=delay, background_count=100)
+            )
             timelines = assemble_timelines(bundle)
             reports = {
                 r.desideratum.label: r
@@ -97,7 +100,7 @@ def test_ablation_rule_feed_delay(benchmark, results_dir):
 
 def test_ablation_baseline_model(benchmark, results_dir):
     """Paper-published vs computed Markov baselines."""
-    bundle = build_datasets(background_count=100)
+    bundle = build_bundle(default_plan(background_count=100))
     timelines = assemble_timelines(bundle)
 
     def both():

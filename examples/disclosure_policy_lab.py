@@ -16,7 +16,7 @@ example turns both into a small what-if laboratory:
 
 from datetime import timedelta
 
-from repro import build_datasets
+from repro import build_bundle, default_plan
 from repro.core.hypothetical import ids_vendor_inclusion_experiment
 from repro.core.skill import compute_skill
 from repro.lifecycle.assembly import assemble_timelines
@@ -47,8 +47,8 @@ def inclusion_window_sweep(timelines) -> None:
 def rule_delay_sweep() -> None:
     rows = []
     for delay_days in (0, 7, 30, 90):
-        bundle = build_datasets(rule_delay_days=delay_days,
-                                background_count=100)
+        bundle = build_bundle(default_plan(rule_delay_days=delay_days,
+                                           background_count=100))
         timelines = assemble_timelines(bundle)
         reports = {
             r.desideratum.label: r for r in compute_skill(timelines.values())
@@ -67,7 +67,7 @@ def rule_delay_sweep() -> None:
 
 
 def main() -> None:
-    bundle = build_datasets(background_count=100)
+    bundle = build_bundle(default_plan(background_count=100))
     timelines = assemble_timelines(bundle)
 
     inclusion_window_sweep(timelines)

@@ -14,7 +14,7 @@ Three extension analyses built on the measured lifecycles:
     python examples/multiparty_coordination.py
 """
 
-from repro import build_datasets
+from repro import build_bundle, default_plan
 from repro.analysis.vendors import category_summaries, sophistication_gap_days
 from repro.core.mpcvd import MultiPartyModel, generate_mpcvd_cases, summarise_cases
 from repro.lifecycle.assembly import assemble_timelines
@@ -22,7 +22,7 @@ from repro.util.tables import render_table
 
 
 def main() -> None:
-    timelines = assemble_timelines(build_datasets(background_count=100))
+    timelines = assemble_timelines(build_bundle(default_plan(background_count=100)))
 
     # 1. Multi-party coordination quality.
     cases = generate_mpcvd_cases(timelines)

@@ -29,7 +29,8 @@ Quickstart::
 from repro._version import __version__
 from repro.analysis.pipeline import StudyConfig, StudyResult, run_study
 from repro.core.skill import compute_skill, mean_skill, skill
-from repro.datasets.loader import DatasetBundle, build_datasets
+from repro.datasets.loader import DatasetBundle, build_bundle, build_datasets
+from repro.datasets.sources import DatasetPlan, DatasetSource, default_plan
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentResult,
@@ -48,7 +49,11 @@ __all__ = [
     "mean_skill",
     "skill",
     "DatasetBundle",
+    "DatasetPlan",
+    "DatasetSource",
+    "build_bundle",
     "build_datasets",
+    "default_plan",
     "EXPERIMENTS",
     "ExperimentResult",
     "list_experiments",

@@ -31,12 +31,12 @@ import warnings
 from dataclasses import dataclass, field
 from datetime import timedelta
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Set, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cache import CacheTelemetry, CheckpointStore, StudyCache
 
-from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_datasets
+from repro.datasets.loader import DEFAULT_SEED, DatasetBundle, build_bundle
 from repro.exploits.rulegen import build_study_ruleset
 from repro.lifecycle.assembly import assemble_timelines
 from repro.lifecycle.events import CveTimeline
@@ -64,8 +64,9 @@ from repro.telescope.config import TelescopeConfig
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 #: Named study presets: quick (CI-sized), standard (interactive), full (the
-#: paper's complete traffic volume).  The one blessed constructor for these
-#: is :meth:`StudyConfig.from_preset`.
+#: paper's complete traffic volume).  Kept for the deprecated
+#: :meth:`StudyConfig.from_preset` shim; each is also a registered scenario,
+#: and :meth:`StudyConfig.from_scenario` is the blessed constructor.
 PRESETS: Dict[str, Dict[str, object]] = {
     "quick": dict(volume_scale=0.02, background_per_exploit=0.3,
                   background_nvd_count=2000),
@@ -97,11 +98,17 @@ class StudyConfig:
 
     Construction is **keyword-only** — positional construction silently
     changes meaning whenever a field is added, so it is rejected outright.
-    Named configurations come from :meth:`from_preset`.
+    Named configurations come from :meth:`from_scenario`.
 
     ``workers`` is an *execution* knob: it sets how many worker processes
     generate traffic and scan sessions, and can never change the result
-    (the study cache keys ignore it for the same reason).
+    (the study cache keys ignore it for the same reason).  ``feed_dir`` is
+    likewise execution-flavoured: it says *where* feed snapshots live, and
+    the cache keys on the snapshots' content, not their location.
+
+    ``scenario`` names a registered scenario (:mod:`repro.scenarios`)
+    whose components the pipeline composes in place of its hard-wired
+    defaults; None runs the classic paper-default composition.
     """
 
     seed: int = DEFAULT_SEED
@@ -111,6 +118,8 @@ class StudyConfig:
     rule_delay: timedelta = timedelta(0)
     telescope_instances: int = 300
     workers: int = 1
+    scenario: Optional[str] = None
+    feed_dir: Optional[str] = None
 
     #: Kept as a class-level alias of the module mapping for callers that
     #: still spell ``StudyConfig.PRESETS``.
@@ -126,6 +135,8 @@ class StudyConfig:
         rule_delay: timedelta = timedelta(0),
         telescope_instances: int = 300,
         workers: int = 1,
+        scenario: Optional[str] = None,
+        feed_dir: Optional[str] = None,
     ) -> None:
         object.__setattr__(self, "seed", seed)
         object.__setattr__(self, "volume_scale", volume_scale)
@@ -134,29 +145,49 @@ class StudyConfig:
         object.__setattr__(self, "rule_delay", rule_delay)
         object.__setattr__(self, "telescope_instances", telescope_instances)
         object.__setattr__(self, "workers", workers)
+        object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "feed_dir", feed_dir)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
 
     @classmethod
-    def from_preset(cls, name: str, **overrides: object) -> "StudyConfig":
+    def from_scenario(cls, name: str, **overrides: object) -> "StudyConfig":
         """The blessed constructor for named configurations.
 
-        Any config field may be overridden by keyword — overrides win over
-        the preset's values:
+        Loads the registered scenario, applies its config overrides, then
+        the caller's keyword overrides (which win), and pins ``scenario``
+        so :func:`run_study` resolves the scenario's components:
 
-        >>> StudyConfig.from_preset("full").volume_scale
+        >>> StudyConfig.from_scenario("full").volume_scale
         1.0
-        >>> StudyConfig.from_preset("quick", workers=4, seed=7).seed
+        >>> StudyConfig.from_scenario("quick", workers=4, seed=7).seed
         7
         """
-        try:
-            values = dict(PRESETS[name])
-        except KeyError:
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario(name)
+        values: Dict[str, object] = dict(spec.config)
+        values.update(overrides)
+        values.setdefault("scenario", name)
+        return cls(**values)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_preset(cls, name: str, **overrides: object) -> "StudyConfig":
+        """Deprecated alias of :meth:`from_scenario` (presets are now
+        registered scenarios; kept one release)."""
+        if "from_preset" not in _DEPRECATION_WARNED:
+            _DEPRECATION_WARNED.add("from_preset")
+            warnings.warn(
+                "StudyConfig.from_preset is deprecated; use "
+                "StudyConfig.from_scenario",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if name not in PRESETS:
             raise KeyError(
                 f"unknown preset {name!r}; known: {sorted(PRESETS)}"
-            ) from None
-        values.update(overrides)
-        return cls(**values)  # type: ignore[arg-type]
+            )
+        return cls.from_scenario(name, **overrides)
 
     @classmethod
     def preset(
@@ -285,21 +316,24 @@ def derive_analysis(
     payloads: Union[SessionStore, Mapping[int, bytes]],
     *,
     tracer: Optional[Tracer] = None,
+    rca: Optional[Callable[..., RootCauseAnalysis]] = None,
 ) -> AnalysisOutputs:
     """Run exploit-event extraction, RCA pruning, and timeline assembly.
 
     ``payloads`` supplies session payloads for root-cause analysis: the
     full :class:`SessionStore` on the batch path, or a session_id →
     payload mapping covering the alerted sessions on the streaming path
-    (RCA never reads payloads of unalerted sessions).
+    (RCA never reads payloads of unalerted sessions).  ``rca`` is a
+    factory called with the payloads (a scenario's registered RCA
+    component); None uses the paper's heuristic.
     """
     from repro.obs import span_or_null
 
     with span_or_null(tracer, "extract") as span:
         events = events_from_alerts(alerts)
         grouped = events_by_cve(events)
-        rca = RootCauseAnalysis(payloads)
-        kept, decisions = rca.filter(grouped)
+        analyser = rca(payloads) if rca is not None else RootCauseAnalysis(payloads)
+        kept, decisions = analyser.filter(grouped)
         if span is not None:
             span.set("events", len(events))
             span.set("kept_cves", len(kept))
@@ -396,6 +430,7 @@ def _build_manifest(
     registry: MetricsRegistry,
     profiler: StageProfiler,
     scan_telemetry: Optional[ScanTelemetry],
+    scenario_fingerprint: Optional[str] = None,
 ) -> RunManifest:
     """Assemble the run's manifest from the instrumented pieces."""
     from repro.cache import code_fingerprint, semantic_config
@@ -426,15 +461,21 @@ def _build_manifest(
         # never pay their compile cost).
         execution["scan_prefilter_shards"] = scan_telemetry.prefilter_shards
         execution["scan_shards_compiled"] = scan_telemetry.shards_compiled
-    return RunManifest(
-        study={
-            "key": study_key,
-            "code": code_fingerprint(),
-            "config": {
-                name: str(value)
-                for name, value in semantic_config(config).items()
-            },
+    study: Dict[str, object] = {
+        "key": study_key,
+        "code": code_fingerprint(),
+        "config": {
+            name: str(value)
+            for name, value in semantic_config(config).items()
         },
+    }
+    if config.scenario is not None:
+        study["scenario"] = {
+            "name": config.scenario,
+            "fingerprint": scenario_fingerprint,
+        }
+    return RunManifest(
+        study=study,
         outcome=result_counts,
         execution=execution,
         spans=spans,
@@ -475,12 +516,17 @@ def run_study(
     ``result.telemetry.manifest``.
     """
     from repro.cache import study_key as compute_study_key
+    from repro.scenarios import resolve as resolve_scenario
 
     config = config or StudyConfig()
     study_cache = _resolve_cache(cache)
     checkpoint_store = _resolve_checkpoints(checkpoints, study_cache)
     manifest_dir = _resolve_manifest_dir(manifest, study_cache, checkpoint_store)
     study_key = compute_study_key(config)
+    # Every run goes through scenario resolution — a config without a
+    # scenario resolves "paper-default", whose components reproduce the
+    # historical hard-wired constructors exactly.
+    resolved = resolve_scenario(config.scenario or "paper-default", config)
 
     tracer = Tracer()
     registry = MetricsRegistry()
@@ -490,15 +536,12 @@ def run_study(
     scan_telemetry: Optional[ScanTelemetry] = None
 
     with tracer.span("run_study", key=study_key, workers=config.workers):
-        # Stage 1: datasets (plus the retrospective ruleset they imply).
+        # Stage 1: datasets (plus the retrospective ruleset they imply),
+        # both from the resolved scenario's components.
         with tracer.span("datasets") as span:
-            bundle = build_datasets(
-                seed=config.seed,
-                background_count=config.background_nvd_count,
-                rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
-            )
-            ruleset = build_study_ruleset(rule_delay=config.rule_delay)
-            span.set("background_cves", config.background_nvd_count)
+            bundle = build_bundle(resolved.plan)
+            ruleset = resolved.build_ruleset()
+            span.set("background_cves", len(bundle.nvd_background))
 
         cached = study_cache.load(config) if study_cache is not None else None
         if cached is not None:
@@ -540,14 +583,7 @@ def run_study(
                         span.set("source", "checkpoint")
                 if arrivals is None:
                     span.set("source", "computed")
-                    generator = TrafficGenerator(
-                        TrafficConfig(
-                            seed=config.seed,
-                            volume_scale=config.volume_scale,
-                            background_per_exploit=config.background_per_exploit,
-                        ),
-                        window=bundle.window,
-                    )
+                    generator = resolved.build_traffic(bundle.window)
                     with profiler.stage("traffic"):
                         arrivals = generator.generate(
                             workers=config.workers, tracer=tracer
@@ -571,13 +607,7 @@ def run_study(
                     store, collection_stats, ground_truth = captured
                 else:
                     span.set("source", "computed")
-                    collector = DscopeCollector(
-                        TelescopeConfig(
-                            concurrent_instances=config.telescope_instances,
-                            seed=config.seed,
-                        ),
-                        window=bundle.window,
-                    )
+                    collector = resolved.build_collector(bundle.window)
                     with profiler.stage("capture"):
                         store = collector.collect(arrivals)
                     collection_stats = collector.stats
@@ -635,7 +665,9 @@ def run_study(
 
         # Stages 5-6: event extraction, RCA pruning, timeline assembly —
         # shared with the streaming path (repro.analysis.streaming).
-        analysis = derive_analysis(bundle, alerts, store, tracer=tracer)
+        analysis = derive_analysis(
+            bundle, alerts, store, tracer=tracer, rca=resolved.build_rca
+        )
         events = analysis.events
         kept = analysis.events_per_cve
         decisions = analysis.rca_decisions
@@ -671,6 +703,7 @@ def run_study(
         registry=registry,
         profiler=profiler,
         scan_telemetry=scan_telemetry,
+        scenario_fingerprint=resolved.fingerprint,
     )
     manifest_path: Optional[Path] = None
     if manifest_dir is not None:

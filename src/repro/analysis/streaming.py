@@ -35,8 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.analysis.pipeline import StudyConfig, derive_analysis
-from repro.datasets.loader import DatasetBundle, build_datasets
-from repro.exploits.rulegen import build_study_ruleset
+from repro.datasets.loader import DatasetBundle, build_bundle
 from repro.lifecycle.events import CveTimeline, LifecycleEvent
 from repro.lifecycle.exploit_events import ExploitEvent
 from repro.lifecycle.rca import RcaDecision
@@ -44,10 +43,7 @@ from repro.net.session import TcpSession
 from repro.nids.engine import DetectionEngine, DetectionStats, ScanTelemetry
 from repro.nids.ruleset import Alert
 from repro.obs import MetricsRegistry, RunManifest, Tracer, publish_mapping
-from repro.telescope.collector import DscopeCollector
-from repro.telescope.config import TelescopeConfig
 from repro.traffic.arrivals import ScanArrival
-from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 #: Filename prefix of the rolling manifests a watch run emits (used with
 #: ``latest_manifest(root, prefix=WATCH_MANIFEST_PREFIX)``).
@@ -108,8 +104,11 @@ class IncrementalStudy:
     sessions are forgotten as soon as their window is folded in.
     """
 
-    def __init__(self, bundle: DatasetBundle) -> None:
+    def __init__(self, bundle: DatasetBundle, *, rca=None) -> None:
         self.bundle = bundle
+        #: Optional RCA factory (a scenario's registered component) passed
+        #: through to :func:`derive_analysis` on every snapshot.
+        self.rca = rca
         self.sessions_seen = 0
         self.windows_observed = 0
         self._alerts: List[Alert] = []
@@ -150,7 +149,7 @@ class IncrementalStudy:
         """Re-derive the full analysis from the cumulative state."""
         alerts = self.cumulative_alerts()
         analysis = derive_analysis(
-            self.bundle, alerts, self._payloads, tracer=tracer
+            self.bundle, alerts, self._payloads, tracer=tracer, rca=self.rca
         )
         # Rebuilt from the canonical alert order so the stats — including
         # alerts_by_sid insertion order — match a serial batch pass.
@@ -217,38 +216,23 @@ def watch_study(
     """
     from repro.cache import code_fingerprint, semantic_config
     from repro.cache import study_key as compute_study_key
+    from repro.scenarios import resolve as resolve_scenario
 
     config = config or StudyConfig()
     study_key = compute_study_key(config)
-    bundle = build_datasets(
-        seed=config.seed,
-        background_count=config.background_nvd_count,
-        rule_delay_days=int(config.rule_delay.total_seconds() // 86400),
-    )
-    ruleset = build_study_ruleset(rule_delay=config.rule_delay)
+    resolved = resolve_scenario(config.scenario or "paper-default", config)
+    bundle = build_bundle(resolved.plan)
+    ruleset = resolved.build_ruleset()
     if source is None:
-        generator = TrafficGenerator(
-            TrafficConfig(
-                seed=config.seed,
-                volume_scale=config.volume_scale,
-                background_per_exploit=config.background_per_exploit,
-            ),
-            window=bundle.window,
-        )
+        generator = resolved.build_traffic(bundle.window)
         source = generator.stream(cursor=cursor)
-    collector = DscopeCollector(
-        TelescopeConfig(
-            concurrent_instances=config.telescope_instances,
-            seed=config.seed,
-        ),
-        window=bundle.window,
-    )
+    collector = resolved.build_collector(bundle.window)
     engine = DetectionEngine(
         ruleset, workers=config.workers, threshold=threshold
     )
-    study = IncrementalStudy(bundle)
+    study = IncrementalStudy(bundle, rca=resolved.build_rca)
     out_dir = Path(manifest_dir).expanduser() if manifest_dir is not None else None
-    study_section = {
+    study_section: Dict[str, object] = {
         "key": study_key,
         "code": code_fingerprint(),
         "config": {
@@ -256,6 +240,11 @@ def watch_study(
             for name, value in semantic_config(config).items()
         },
     }
+    if config.scenario is not None:
+        study_section["scenario"] = {
+            "name": config.scenario,
+            "fingerprint": resolved.fingerprint,
+        }
 
     for window in collector.collect_windows(
         source, span=window_span, max_windows=max_windows

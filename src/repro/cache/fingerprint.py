@@ -23,9 +23,14 @@ from repro._version import __version__
 #: stream, session store, alert list).
 STAGE_MODULES: Tuple[str, ...] = (
     "repro.analysis.pipeline",
+    "repro.datasets.feeds.base",
+    "repro.datasets.feeds.fixes",
+    "repro.datasets.feeds.kevjson",
+    "repro.datasets.feeds.nvd2",
     "repro.datasets.loader",
     "repro.datasets.seed_cves",
     "repro.datasets.seed_log4shell",
+    "repro.datasets.sources",
     "repro.exploits.log4shell",
     "repro.exploits.rulegen",
     "repro.exploits.templates",
@@ -37,6 +42,11 @@ STAGE_MODULES: Tuple[str, ...] = (
     "repro.nids.parser",
     "repro.nids.rule",
     "repro.nids.ruleset",
+    "repro.nids.scale",
+    "repro.scenarios.builtins",
+    "repro.scenarios.registry",
+    "repro.scenarios.resolve",
+    "repro.scenarios.spec",
     "repro.telescope.collector",
     "repro.telescope.config",
     "repro.telescope.instance",

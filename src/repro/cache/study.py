@@ -91,8 +91,11 @@ PUBLISH_ATTEMPTS = 4
 
 #: Config fields that select *how* a study runs, not *what* it computes;
 #: they are excluded from the cache key so e.g. ``workers=1`` and
-#: ``workers=8`` share an entry.
-EXECUTION_FIELDS = frozenset({"workers"})
+#: ``workers=8`` share an entry.  ``feed_dir`` names *where* feed
+#: snapshots live; the snapshots' *content* reaches the key through the
+#: resolved scenario fingerprint, so moving files never re-keys but
+#: editing them always does.
+EXECUTION_FIELDS = frozenset({"workers", "feed_dir"})
 
 
 def default_cache_root() -> Path:
@@ -106,11 +109,38 @@ def default_cache_root() -> Path:
     return base / "repro"
 
 
+def _scenario_token(config) -> Optional[str]:
+    """The scenario's contribution to the cache key, or None for none.
+
+    The token is the resolved scenario's fingerprint (component refs +
+    params + dataset content hashes) — but only when it *differs* from the
+    paper-default composition resolved under the same config.  Params-only
+    scenarios (``quick``, ``standard``, ``full``) therefore share entries
+    with equivalent hand-built configs, and ``from_scenario
+    ("paper-default")`` keys identically to a plain default config.
+    """
+    name = getattr(config, "scenario", None)
+    if name is None:
+        return None
+    from repro.scenarios import resolve
+
+    resolved = resolve(name, config)
+    baseline = resolve("paper-default", config)
+    if resolved.fingerprint == baseline.fingerprint:
+        return None
+    return resolved.fingerprint
+
+
 def semantic_config(config) -> Dict[str, object]:
     """The key-relevant view of a (dataclass) study config."""
     semantic: Dict[str, object] = {}
     for field in dataclasses.fields(config):
         if field.name in EXECUTION_FIELDS:
+            continue
+        if field.name == "scenario":
+            token = _scenario_token(config)
+            if token is not None:
+                semantic["scenario"] = token
             continue
         value = getattr(config, field.name)
         if isinstance(value, timedelta):

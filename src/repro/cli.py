@@ -9,6 +9,10 @@ Subcommands::
     repro serve       HTTP query plane over a columnar study shard
     repro query       answer one serve query offline from the shard
     repro experiment  regenerate one paper table/figure (see `repro list`)
+    repro scenarios   list registered scenarios/components, show one, or
+                      run the study under one (`scenarios run real-feeds`)
+    repro feeds       real-feed snapshots: fetch (network, explicit only),
+                      verify content hashes, show parsed record counts
     repro report      per-CVE lifecycle dossier from a study run
     repro trace       render a run manifest's span tree (where time went)
     repro metrics     render a run manifest's metrics snapshot
@@ -91,8 +95,19 @@ def study_parent() -> argparse.ArgumentParser:
     )
     parent.add_argument("--seed", type=int, default=20230321)
     parent.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="registered scenario to compose the pipeline from "
+             "(see `repro scenarios list`)",
+    )
+    parent.add_argument(
+        "--feed-dir", default=None, metavar="DIR",
+        help="directory holding real-feed snapshots (nvd.json, kev.json, "
+             "fixes.csv) for feed-backed scenarios",
+    )
+    parent.add_argument(
         "--preset", choices=sorted(StudyConfig.PRESETS), default=None,
-        help="named study configuration (quick / standard / full)",
+        help="named study configuration (quick / standard / full); "
+             "presets are scenarios now — --scenario NAME is the same thing",
     )
     return parent
 
@@ -102,8 +117,18 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
     overrides = {"seed": args.seed, "workers": args.workers}
     if args.scale is not None:
         overrides["volume_scale"] = args.scale
-    if args.preset is not None:
-        return StudyConfig.from_preset(args.preset, **overrides)
+    if getattr(args, "feed_dir", None) is not None:
+        overrides["feed_dir"] = args.feed_dir
+    scenario_name = getattr(args, "scenario", None)
+    if scenario_name is not None and args.preset is not None:
+        raise SystemExit("error: --scenario and --preset are mutually exclusive")
+    # --preset is the legacy spelling: presets are registered scenarios.
+    scenario_name = scenario_name or args.preset
+    if scenario_name is not None:
+        try:
+            return StudyConfig.from_scenario(scenario_name, **overrides)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}") from None
     overrides.setdefault("volume_scale", 0.05)
     return StudyConfig(background_nvd_count=5000, **overrides)
 
@@ -457,6 +482,169 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for experiment_id in list_experiments():
         print(experiment_id)
     return 0
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import COMPONENT_KINDS, get_scenario, scenario
+
+    if args.json:
+        record = {
+            "scenarios": {
+                name: get_scenario(name).to_dict()
+                for name in scenario.names("scenario")
+            },
+            "components": {
+                kind: {
+                    entry.name: entry.description
+                    for entry in scenario.entries(kind)
+                }
+                for kind in COMPONENT_KINDS
+            },
+        }
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [entry.name, entry.description]
+        for entry in scenario.entries("scenario")
+    ]
+    print(render_table(["scenario", "description"], rows,
+                       title="Registered scenarios"))
+    if args.components:
+        for kind in COMPONENT_KINDS:
+            rows = [
+                [entry.name, entry.description]
+                for entry in scenario.entries(kind)
+            ]
+            print()
+            print(render_table([kind, "description"], rows))
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario, resolve
+
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    config = _study_config(args)
+    resolved = resolve(spec, config)
+    if args.json:
+        record = spec.to_dict()
+        record["resolved"] = {
+            "fingerprint": resolved.fingerprint,
+            "components": {
+                kind: {"ref": registration.name, "params": params}
+                for kind, (registration, params) in sorted(
+                    resolved.components.items()
+                )
+            },
+        }
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    print(f"{spec.name}: {spec.description}")
+    print(f"fingerprint (this config): {resolved.fingerprint}")
+    if spec.config:
+        print("config overrides:")
+        for name, value in sorted(spec.config.items()):
+            print(f"  {name} = {value}")
+    print("components:")
+    for kind, (registration, params) in sorted(resolved.components.items()):
+        suffix = f"  {params}" if params else ""
+        print(f"  {kind:<10} {registration.name}{suffix}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    args.scenario = args.name
+    return _cmd_run(args)
+
+
+def _feeds_dir(args: argparse.Namespace) -> Path:
+    return Path(args.feed_dir if args.feed_dir is not None else "feeds")
+
+
+def _cmd_feeds_fetch(args: argparse.Namespace) -> int:
+    from repro.datasets.feeds.fetch import FEED_URLS, fetch_feed
+
+    feed_dir = _feeds_dir(args)
+    names = args.names or sorted(FEED_URLS)
+    for name in names:
+        try:
+            digest = fetch_feed(name, feed_dir, url=args.url)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(f"error fetching {name}: {error}", file=sys.stderr)
+            return 1
+        print(f"{name}: fetched into {feed_dir}/ (blake2b {digest})")
+    return 0
+
+
+def _cmd_feeds_verify(args: argparse.Namespace) -> int:
+    from repro.datasets.feeds.fetch import verify_feeds
+
+    feed_dir = _feeds_dir(args)
+    statuses = verify_feeds(feed_dir)
+    if not statuses:
+        print(f"no hash manifest under {feed_dir}/ (fetch first)",
+              file=sys.stderr)
+        return 1
+    failed = False
+    for filename, status in statuses.items():
+        print(f"{filename}: {status}")
+        failed = failed or status != "ok"
+    return 1 if failed else 0
+
+
+def _cmd_feeds_show(args: argparse.Namespace) -> int:
+    from repro.datasets.feeds import (
+        FeedParseError,
+        FixesFeedSource,
+        KevFeedSource,
+        Nvd2FeedSource,
+    )
+
+    feed_dir = _feeds_dir(args)
+    sources = [
+        ("nvd.json", Nvd2FeedSource),
+        ("kev.json", KevFeedSource),
+        ("fixes.csv", FixesFeedSource),
+    ]
+    record = {}
+    for filename, source_cls in sources:
+        path = feed_dir / filename
+        if not path.is_file():
+            record[filename] = {"status": "missing"}
+            continue
+        source = source_cls(str(path))
+        try:
+            records = source.fetch()
+        except FeedParseError as error:
+            record[filename] = {"status": "parse error", "error": str(error)}
+            continue
+        record[filename] = {
+            "status": "ok",
+            "records": len(records),
+            "fingerprint": source.fingerprint(),
+        }
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 1 if any(v["status"] != "ok" for v in record.values()) else 0
+    rows = [
+        [
+            filename,
+            info["status"],
+            info.get("records", "-"),
+            info.get("fingerprint", info.get("error", "-")),
+        ]
+        for filename, info in record.items()
+    ]
+    print(render_table(["snapshot", "status", "records", "fingerprint"],
+                       rows, title=f"feeds under {feed_dir}/"))
+    return 1 if any(v["status"] != "ok" for v in record.values()) else 0
 
 
 def _scale_config(args: argparse.Namespace):
@@ -931,6 +1119,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("id", choices=list_experiments())
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list, inspect, and run registered scenarios"
+    )
+    scenarios_subparsers = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenarios_list_parser = scenarios_subparsers.add_parser(
+        "list", parents=[common], help="registered scenarios (and components)"
+    )
+    scenarios_list_parser.add_argument(
+        "--components", action="store_true",
+        help="also list registered components by kind",
+    )
+    scenarios_list_parser.set_defaults(func=_cmd_scenarios_list)
+
+    scenarios_show_parser = scenarios_subparsers.add_parser(
+        "show", parents=[common, study],
+        help="one scenario's spec, resolved components, and fingerprint",
+    )
+    scenarios_show_parser.add_argument("name", help="scenario name")
+    scenarios_show_parser.set_defaults(func=_cmd_scenarios_show)
+
+    scenarios_run_parser = scenarios_subparsers.add_parser(
+        "run", parents=[common, study],
+        help="run the full study under a scenario (same output as `run`)",
+    )
+    scenarios_run_parser.add_argument("name", help="scenario name")
+    scenarios_run_parser.add_argument(
+        "--out", help="directory for exported artifacts"
+    )
+    scenarios_run_parser.set_defaults(func=_cmd_scenarios_run)
+
+    feeds_parser = subparsers.add_parser(
+        "feeds", help="fetch, verify, and inspect real-feed snapshots"
+    )
+    feeds_subparsers = feeds_parser.add_subparsers(
+        dest="feeds_command", required=True
+    )
+
+    def _feeds_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--feed-dir", default=None, metavar="DIR",
+            help="snapshot directory (default ./feeds)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    feeds_fetch_parser = feeds_subparsers.add_parser(
+        "fetch",
+        help="download feed snapshots (the only networked command; "
+             "records content hashes)",
+    )
+    _feeds_args(feeds_fetch_parser)
+    feeds_fetch_parser.add_argument(
+        "names", nargs="*",
+        help="snapshot filenames to fetch (default: all known feeds)",
+    )
+    feeds_fetch_parser.add_argument(
+        "--url", default=None,
+        help="explicit source URL (single snapshot only)",
+    )
+    feeds_fetch_parser.set_defaults(func=_cmd_feeds_fetch)
+
+    feeds_verify_parser = feeds_subparsers.add_parser(
+        "verify", help="recompute snapshot hashes against the manifest"
+    )
+    _feeds_args(feeds_verify_parser)
+    feeds_verify_parser.set_defaults(func=_cmd_feeds_verify)
+
+    feeds_show_parser = feeds_subparsers.add_parser(
+        "show", help="parse local snapshots; record counts and fingerprints"
+    )
+    _feeds_args(feeds_show_parser)
+    feeds_show_parser.set_defaults(func=_cmd_feeds_show)
 
     report_parser = subparsers.add_parser(
         "report", parents=[common, study],

@@ -18,7 +18,12 @@ from repro.datasets.records import (
 )
 from repro.datasets.seed_cves import SEED_CVES, SeedCve, STUDY_WINDOW
 from repro.datasets.seed_log4shell import LOG4SHELL_VARIANTS, Log4ShellVariant
-from repro.datasets.loader import DatasetBundle, build_datasets
+from repro.datasets.loader import DatasetBundle, build_bundle, build_datasets
+from repro.datasets.sources import (
+    DatasetPlan,
+    DatasetSource,
+    default_plan,
+)
 
 __all__ = [
     "CveRecord",
@@ -32,5 +37,9 @@ __all__ = [
     "LOG4SHELL_VARIANTS",
     "Log4ShellVariant",
     "DatasetBundle",
+    "DatasetPlan",
+    "DatasetSource",
+    "build_bundle",
     "build_datasets",
+    "default_plan",
 ]

@@ -1,0 +1,21 @@
+"""Offline-first adapters for real public vulnerability feeds.
+
+Each adapter is a :class:`repro.datasets.sources.DatasetSource` backed by a
+local snapshot file — NVD 2.0 JSON, CISA KEV JSON, or a CVEfixes-style
+fix-date table — normalised into the same record schemata the synthetic
+builders emit, so the identical pipeline runs on real data.  No adapter
+ever touches the network; :mod:`repro.datasets.feeds.fetch` downloads and
+content-hashes snapshots on explicit request (``repro feeds fetch``).
+"""
+
+from repro.datasets.feeds.base import FeedParseError
+from repro.datasets.feeds.fixes import FixesFeedSource
+from repro.datasets.feeds.kevjson import KevFeedSource
+from repro.datasets.feeds.nvd2 import Nvd2FeedSource
+
+__all__ = [
+    "FeedParseError",
+    "FixesFeedSource",
+    "KevFeedSource",
+    "Nvd2FeedSource",
+]

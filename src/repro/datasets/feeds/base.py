@@ -1,0 +1,65 @@
+"""Shared plumbing for feed adapters: errors, timestamps, file identity.
+
+Feed snapshots are plain local files; a source's :meth:`fingerprint` is a
+content digest of those bytes, so editing a snapshot re-keys every study
+that consumed it while renaming or moving it does not.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from pathlib import Path
+from typing import Union
+
+from repro.cache.fingerprint import digest_file
+
+PathLike = Union[str, Path]
+
+
+class FeedParseError(ValueError):
+    """A feed snapshot contained a record the adapter refuses to normalise.
+
+    Always names the offending record (CVE id or row number) so a broken
+    multi-megabyte snapshot is debuggable from the message alone.
+    """
+
+    def __init__(self, feed: str, record: str, reason: str) -> None:
+        self.feed = feed
+        self.record = record
+        self.reason = reason
+        super().__init__(f"{feed}: record {record}: {reason}")
+
+
+def parse_feed_datetime(text: str, *, feed: str, record: str) -> datetime:
+    """Parse a feed timestamp into the repo's naive-UTC convention.
+
+    Accepts NVD 2.0 shapes (``2021-12-10T10:15:09.143``), KEV date-only
+    shapes (``2021-11-03``), and explicit UTC suffixes.
+    """
+    if not isinstance(text, str) or not text:
+        raise FeedParseError(feed, record, f"missing or non-string date: {text!r}")
+    cleaned = text.strip()
+    if cleaned.endswith("Z"):
+        cleaned = cleaned[:-1]
+    try:
+        parsed = datetime.fromisoformat(cleaned)
+    except ValueError:
+        raise FeedParseError(feed, record, f"unparseable date: {text!r}") from None
+    if parsed.tzinfo is not None:
+        parsed = parsed.replace(tzinfo=None)
+    return parsed
+
+
+def require_cve_id(value: object, *, feed: str, record: str) -> str:
+    """Validate a feed-provided CVE identifier before record construction."""
+    if not isinstance(value, str) or not value.startswith("CVE-"):
+        raise FeedParseError(feed, record, f"malformed CVE id: {value!r}")
+    return value
+
+
+def snapshot_fingerprint(path: PathLike) -> str:
+    """Content digest of a snapshot file (the adapter's cache identity)."""
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"feed snapshot not found: {path}")
+    return digest_file(path)

@@ -1,0 +1,92 @@
+"""Explicit snapshot downloader behind ``repro feeds fetch``.
+
+The only network code in the repository, and it never runs implicitly:
+tests and studies read committed snapshots, and this module exists so a
+user can refresh them on demand.  Every download is content-hashed into
+``feeds.sha.json`` beside the snapshots; ``repro feeds verify`` recomputes
+the digests so a drifted or truncated snapshot is caught before it skews
+a study.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cache.fingerprint import digest_file
+
+#: Upstream snapshot URLs for each feed, keyed by the on-disk filename.
+FEED_URLS: Dict[str, str] = {
+    "nvd.json": (
+        "https://services.nvd.nist.gov/rest/json/cves/2.0"
+        "?pubStartDate=2021-07-01T00:00:00.000&pubEndDate=2023-06-30T23:59:59.999"
+    ),
+    "kev.json": (
+        "https://www.cisa.gov/sites/default/files/feeds/"
+        "known_exploited_vulnerabilities.json"
+    ),
+}
+
+HASH_MANIFEST = "feeds.sha.json"
+
+
+def _manifest_path(feed_dir: Path) -> Path:
+    return feed_dir / HASH_MANIFEST
+
+
+def load_hashes(feed_dir: Path) -> Dict[str, str]:
+    """Recorded content digests, empty when no manifest exists yet."""
+    path = _manifest_path(feed_dir)
+    if not path.is_file():
+        return {}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def record_hash(feed_dir: Path, filename: str) -> str:
+    """Digest one snapshot and persist it into the hash manifest."""
+    digest = digest_file(feed_dir / filename)
+    hashes = load_hashes(feed_dir)
+    hashes[filename] = digest
+    _manifest_path(feed_dir).write_text(
+        json.dumps(hashes, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return digest
+
+
+def fetch_feed(
+    name: str, feed_dir: Path, *, url: Optional[str] = None, timeout: float = 60.0
+) -> str:
+    """Download one feed snapshot into ``feed_dir`` and record its digest.
+
+    ``name`` is a filename from :data:`FEED_URLS` (or any filename when an
+    explicit ``url`` is given).  Returns the recorded content digest.
+    """
+    source = url or FEED_URLS.get(name)
+    if source is None:
+        known = ", ".join(sorted(FEED_URLS))
+        raise KeyError(f"unknown feed {name!r} (known: {known}; or pass --url)")
+    feed_dir.mkdir(parents=True, exist_ok=True)
+    destination = feed_dir / name
+    with urllib.request.urlopen(source, timeout=timeout) as response:
+        destination.write_bytes(response.read())
+    return record_hash(feed_dir, name)
+
+
+def verify_feeds(feed_dir: Path) -> Dict[str, str]:
+    """Recompute digests against the manifest; returns filename → status.
+
+    Status is ``"ok"``, ``"missing"``, or ``"modified"``.  An empty dict
+    means no manifest was found.
+    """
+    statuses: Dict[str, str] = {}
+    for filename, recorded in sorted(load_hashes(feed_dir).items()):
+        path = feed_dir / filename
+        if not path.is_file():
+            statuses[filename] = "missing"
+        elif digest_file(path) != recorded:
+            statuses[filename] = "modified"
+        else:
+            statuses[filename] = "ok"
+    return statuses

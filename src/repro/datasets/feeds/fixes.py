@@ -1,0 +1,91 @@
+"""CVEfixes-style fix-date table → :class:`RuleHistoryEntry`.
+
+CVEfixes (PAPERS.md) links CVEs to the commits that fix them; the study's
+F/D events only need *when a mitigation became deployable*, so a fix-date
+row maps onto the rule-history schema: the fix date becomes the rule's
+``published`` timestamp and the repository/commit pair becomes the
+message.  SIDs are assigned deterministically from a reserved block
+(:data:`FIX_SID_BASE`) in row order, far above both the real Talos range
+and the synthetic scaler's allocations, so merged rulesets never collide.
+
+Expected CSV header: ``cve_id,repo,fix_commit,fix_date`` (extra columns
+ignored; ``fix_date`` ISO format).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.datasets.feeds.base import (
+    FeedParseError,
+    PathLike,
+    parse_feed_datetime,
+    require_cve_id,
+    snapshot_fingerprint,
+)
+from repro.datasets.records import RuleHistoryEntry
+from repro.util.timeutil import TimeWindow
+
+FEED_NAME = "cvefixes"
+
+#: Reserved SID block for fix-derived entries.
+FIX_SID_BASE = 800001
+
+_REQUIRED_COLUMNS = ("cve_id", "repo", "fix_commit", "fix_date")
+
+
+def parse_fixes(
+    path: PathLike, *, window: Optional[TimeWindow] = None, delayed_days: int = 0
+) -> List[RuleHistoryEntry]:
+    """Parse one fix-date CSV into deterministic :class:`RuleHistoryEntry`\\ s."""
+    path = Path(path)
+    with path.open(encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        header = reader.fieldnames or []
+        missing = [column for column in _REQUIRED_COLUMNS if column not in header]
+        if missing:
+            raise FeedParseError(
+                FEED_NAME, str(path), f"missing columns: {missing} (header {header})"
+            )
+        entries: List[RuleHistoryEntry] = []
+        for row_number, row in enumerate(reader, start=2):
+            record_label = row.get("cve_id") or f"row {row_number}"
+            cve_id = require_cve_id(
+                row.get("cve_id"), feed=FEED_NAME, record=record_label
+            )
+            fix_date = parse_feed_datetime(
+                row.get("fix_date"), feed=FEED_NAME, record=cve_id
+            )
+            if window is not None and not window.contains(fix_date):
+                continue
+            commit = (row.get("fix_commit") or "")[:12]
+            entries.append(
+                RuleHistoryEntry(
+                    sid=FIX_SID_BASE + len(entries),
+                    cve_id=cve_id,
+                    published=fix_date,
+                    message=f"FIX {row.get('repo', '')}@{commit} ({cve_id})",
+                    ports=(),
+                    delayed_days=delayed_days,
+                )
+            )
+    return entries
+
+
+@dataclass(frozen=True)
+class FixesFeedSource:
+    """Dataset source reading a local CVEfixes-style fix-date CSV."""
+
+    path: str
+    window: Optional[TimeWindow] = None
+    delayed_days: int = 0
+    name: str = FEED_NAME
+
+    def fetch(self) -> List[RuleHistoryEntry]:
+        return parse_fixes(self.path, window=self.window, delayed_days=self.delayed_days)
+
+    def fingerprint(self) -> str:
+        return snapshot_fingerprint(self.path)

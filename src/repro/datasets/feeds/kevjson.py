@@ -1,0 +1,74 @@
+"""CISA KEV JSON adapter: ``vulnerabilities[]`` → :class:`KevEntry`.
+
+KEV carries ``dateAdded`` (the study's A) but not the NVD publication
+date; adapters leave ``published=None`` and the bundle builder backfills
+it from the NVD slot where the CVE appears there (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.datasets.feeds.base import (
+    FeedParseError,
+    PathLike,
+    parse_feed_datetime,
+    require_cve_id,
+    snapshot_fingerprint,
+)
+from repro.datasets.records import KevEntry
+from repro.util.timeutil import TimeWindow
+
+FEED_NAME = "cisa-kev"
+
+
+def parse_kev(path: PathLike, *, window: Optional[TimeWindow] = None) -> List[KevEntry]:
+    """Parse one CISA KEV catalog snapshot into :class:`KevEntry` records."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise FeedParseError(FEED_NAME, str(path), f"invalid JSON: {exc}") from None
+    vulnerabilities = document.get("vulnerabilities")
+    if not isinstance(vulnerabilities, list):
+        raise FeedParseError(FEED_NAME, str(path), "missing 'vulnerabilities' array")
+    entries: List[KevEntry] = []
+    for index, item in enumerate(vulnerabilities):
+        if not isinstance(item, dict):
+            raise FeedParseError(FEED_NAME, f"#{index}", "entry is not an object")
+        record_label = item.get("cveID") or f"#{index}"
+        cve_id = require_cve_id(item.get("cveID"), feed=FEED_NAME, record=record_label)
+        date_added = parse_feed_datetime(
+            item.get("dateAdded"), feed=FEED_NAME, record=cve_id
+        )
+        if window is not None and not window.contains(date_added):
+            continue
+        entries.append(
+            KevEntry(
+                cve_id=cve_id,
+                date_added=date_added,
+                published=None,
+                vendor=item.get("vendorProject", ""),
+                product=item.get("product", ""),
+            )
+        )
+    entries.sort(key=lambda entry: (entry.date_added, entry.cve_id))
+    return entries
+
+
+@dataclass(frozen=True)
+class KevFeedSource:
+    """Dataset source reading a local CISA KEV JSON snapshot."""
+
+    path: str
+    window: Optional[TimeWindow] = None
+    name: str = FEED_NAME
+
+    def fetch(self) -> List[KevEntry]:
+        return parse_kev(self.path, window=self.window)
+
+    def fingerprint(self) -> str:
+        return snapshot_fingerprint(self.path)

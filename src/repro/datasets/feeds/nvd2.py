@@ -1,0 +1,122 @@
+"""NVD 2.0 JSON adapter: ``vulnerabilities[].cve`` → :class:`CveRecord`.
+
+Normalisation rules (documented in DESIGN.md §15):
+
+* ``published`` parses the NVD 2.0 ISO timestamp into naive UTC.
+* CVSS prefers v3.1 → v3.0 → v2 metrics, first listed entry of the best
+  available version; records with no metrics at all score 0.0 (NVD marks
+  them "Awaiting Analysis" — excluding them would bias the severity CDF).
+* ``cwe`` takes the first CWE- token in ``weaknesses``; ``vendor`` is left
+  empty (NVD 2.0 carries CPE configurations, not a flat vendor field).
+* Rejected (vulnerability-status ``Rejected``) entries are skipped.
+* Anything structurally malformed raises :class:`FeedParseError` naming
+  the record, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.datasets.feeds.base import (
+    FeedParseError,
+    PathLike,
+    parse_feed_datetime,
+    require_cve_id,
+    snapshot_fingerprint,
+)
+from repro.datasets.records import CveRecord
+from repro.util.timeutil import TimeWindow
+
+FEED_NAME = "nvd-2.0"
+
+#: Metric keys in preference order (newest CVSS version wins).
+_METRIC_KEYS = ("cvssMetricV31", "cvssMetricV30", "cvssMetricV2")
+
+
+def _base_score(cve: dict, record: str) -> float:
+    metrics = cve.get("metrics") or {}
+    for key in _METRIC_KEYS:
+        entries = metrics.get(key) or []
+        if not entries:
+            continue
+        data = entries[0].get("cvssData") or {}
+        score = data.get("baseScore")
+        if not isinstance(score, (int, float)):
+            raise FeedParseError(FEED_NAME, record, f"non-numeric baseScore in {key}")
+        return float(score)
+    return 0.0
+
+
+def _first_cwe(cve: dict) -> str:
+    for weakness in cve.get("weaknesses") or []:
+        for description in weakness.get("description") or []:
+            value = description.get("value", "")
+            if isinstance(value, str) and value.startswith("CWE-"):
+                return value
+    return ""
+
+
+def _description(cve: dict) -> str:
+    for entry in cve.get("descriptions") or []:
+        if entry.get("lang") == "en":
+            return entry.get("value", "")
+    return ""
+
+
+def parse_nvd2(path: PathLike, *, window: Optional[TimeWindow] = None) -> List[CveRecord]:
+    """Parse one NVD 2.0 JSON snapshot into validated :class:`CveRecord`\\ s."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise FeedParseError(FEED_NAME, str(path), f"invalid JSON: {exc}") from None
+    vulnerabilities = document.get("vulnerabilities")
+    if not isinstance(vulnerabilities, list):
+        raise FeedParseError(FEED_NAME, str(path), "missing 'vulnerabilities' array")
+    records: List[CveRecord] = []
+    for index, wrapper in enumerate(vulnerabilities):
+        cve = wrapper.get("cve") if isinstance(wrapper, dict) else None
+        if not isinstance(cve, dict):
+            raise FeedParseError(FEED_NAME, f"#{index}", "entry lacks a 'cve' object")
+        record_label = cve.get("id") or f"#{index}"
+        if cve.get("vulnStatus") == "Rejected":
+            continue
+        cve_id = require_cve_id(cve.get("id"), feed=FEED_NAME, record=record_label)
+        published = parse_feed_datetime(
+            cve.get("published"), feed=FEED_NAME, record=cve_id
+        )
+        if window is not None and not window.contains(published):
+            continue
+        score = _base_score(cve, cve_id)
+        if not 0.0 <= score <= 10.0:
+            raise FeedParseError(FEED_NAME, cve_id, f"CVSS out of range: {score}")
+        records.append(
+            CveRecord(
+                cve_id=cve_id,
+                published=published,
+                cvss=score,
+                description=_description(cve),
+                cwe=_first_cwe(cve),
+                assigner=cve.get("sourceIdentifier", ""),
+            )
+        )
+    records.sort(key=lambda record: (record.published, record.cve_id))
+    return records
+
+
+@dataclass(frozen=True)
+class Nvd2FeedSource:
+    """Dataset source reading a local NVD 2.0 JSON snapshot."""
+
+    path: str
+    window: Optional[TimeWindow] = None
+    name: str = FEED_NAME
+
+    def fetch(self) -> List[CveRecord]:
+        return parse_nvd2(self.path, window=self.window)
+
+    def fingerprint(self) -> str:
+        return snapshot_fingerprint(self.path)

@@ -3,18 +3,21 @@
 :class:`DatasetBundle` is the reproduction's equivalent of the paper's
 Table 2 — each field is one data source, and downstream stages (lifecycle
 assembly, analyses, benchmarks) consume the bundle rather than the
-individual builders, so swapping a synthetic feed for a real one is a
-one-line change.
+individual builders.  Sources are pluggable: :func:`build_bundle` consumes
+a :class:`repro.datasets.sources.DatasetPlan` mapping each slot to a
+:class:`~repro.datasets.sources.DatasetSource`, so swapping a synthetic
+feed for a real one is a plan change, not a code change.  The historical
+:func:`build_datasets` signature survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.datasets.catalog import CVE_PROFILES, CveProfile
-from repro.datasets.kev import build_kev, kev_cvss_scores
-from repro.datasets.nvd import background_population, studied_cve_records
+from repro.datasets.kev import kev_cvss_scores
 from repro.datasets.records import (
     CveRecord,
     ExploitEvidence,
@@ -23,15 +26,10 @@ from repro.datasets.records import (
     TalosReport,
 )
 from repro.datasets.seed_cves import SEED_CVES, STUDY_WINDOW, SeedCve
-from repro.datasets.suciu import evidence_index, exploit_evidence_from_seeds
-from repro.datasets.talos import (
-    rule_history_from_seeds,
-    rule_index,
-    talos_reports_from_seeds,
-)
+from repro.datasets.sources import DEFAULT_SEED, DatasetPlan, default_plan
+from repro.datasets.suciu import evidence_index
+from repro.datasets.talos import rule_index
 from repro.util.timeutil import TimeWindow
-
-DEFAULT_SEED = 20230321
 
 
 @dataclass
@@ -70,6 +68,46 @@ class DatasetBundle:
         return {report.cve_id: report for report in self.talos_reports}
 
 
+def build_bundle(plan: DatasetPlan) -> DatasetBundle:
+    """Assemble the study bundle by fetching every source in ``plan``.
+
+    Cross-source derivations stay here: KEV CVSS scores are assigned from
+    the plan seed over whatever KEV entries the source produced, and KEV
+    entries missing a ``published`` date (real feeds don't carry one) are
+    backfilled from the NVD slot when possible.
+    """
+    kev_entries = list(plan.sources["kev"].fetch())
+    nvd_records = list(plan.sources["nvd"].fetch())
+    published_by_cve = {record.cve_id: record.published for record in nvd_records}
+    kev_entries = [
+        entry
+        if entry.published is not None
+        else KevEntry(
+            cve_id=entry.cve_id,
+            date_added=entry.date_added,
+            published=published_by_cve.get(entry.cve_id),
+            vendor=entry.vendor,
+            product=entry.product,
+        )
+        for entry in kev_entries
+    ]
+    return DatasetBundle(
+        window=plan.window,
+        seed=plan.seed,
+        studied=list(SEED_CVES),
+        nvd=nvd_records,
+        nvd_background=list(plan.sources["nvd_background"].fetch()),
+        kev=kev_entries,
+        kev_cvss=kev_cvss_scores(kev_entries, seed=plan.seed),
+        rule_history=list(plan.sources["rule_history"].fetch()),
+        talos_reports=list(plan.sources["talos_reports"].fetch()),
+        exploit_evidence=list(plan.sources["exploit_evidence"].fetch()),
+    )
+
+
+_LEGACY_WARNED = False
+
+
 def build_datasets(
     *,
     seed: int = DEFAULT_SEED,
@@ -77,25 +115,27 @@ def build_datasets(
     background_count: int = 20000,
     rule_delay_days: int = 0,
 ) -> DatasetBundle:
-    """Assemble every data source for a study run.
+    """Deprecated: assemble the paper-default bundle from keyword knobs.
 
+    Use ``build_bundle(default_plan(...))`` — or a scenario — instead.
     ``rule_delay_days`` models the registered-user Snort feed delay (the
     paper's footnote 2); the default models commercial subscribers with
     immediate rule availability.
     """
-    window = window or STUDY_WINDOW
-    kev_entries = build_kev(seed=seed, window=window)
-    return DatasetBundle(
-        window=window,
-        seed=seed,
-        studied=list(SEED_CVES),
-        nvd=studied_cve_records(),
-        nvd_background=background_population(
-            seed=seed, count=background_count, window=window
-        ),
-        kev=kev_entries,
-        kev_cvss=kev_cvss_scores(kev_entries, seed=seed),
-        rule_history=rule_history_from_seeds(delayed_days=rule_delay_days),
-        talos_reports=talos_reports_from_seeds(),
-        exploit_evidence=exploit_evidence_from_seeds(),
+    global _LEGACY_WARNED
+    if not _LEGACY_WARNED:
+        _LEGACY_WARNED = True
+        warnings.warn(
+            "build_datasets(...) is deprecated; use "
+            "build_bundle(default_plan(...)) or StudyConfig.from_scenario",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return build_bundle(
+        default_plan(
+            seed=seed,
+            window=window,
+            background_count=background_count,
+            rule_delay_days=rule_delay_days,
+        )
     )

@@ -8,7 +8,7 @@ verifiable rather than hand-maintained::
     from repro import run_study, StudyConfig
     from repro.experiments.report import write_markdown_report
 
-    result = run_study(StudyConfig.from_preset("full"))
+    result = run_study(StudyConfig.from_scenario("full"))
     write_markdown_report(result, "EXPERIMENTS_measured.md")
 """
 

@@ -1,0 +1,35 @@
+"""Scenario layer: every study input as registered, pluggable data.
+
+Importing this package registers the built-in components and scenarios;
+:func:`resolve` turns a scenario name (or declarative :class:`Scenario`
+spec) plus a :class:`~repro.analysis.pipeline.StudyConfig` into the
+instantiated pipeline components the study runs with.
+"""
+
+from repro.scenarios.registry import KINDS, Registration, ScenarioRegistry, scenario
+from repro.scenarios.resolve import (
+    DEFAULT_COMPONENTS,
+    ResolvedScenario,
+    get_scenario,
+    register_scenario,
+    resolve,
+)
+from repro.scenarios.spec import COMPONENT_KINDS, ComponentRef, Scenario
+
+# Built-ins register on import (decorators run at module load).
+from repro.scenarios import builtins as _builtins  # noqa: F401  isort: skip
+
+__all__ = [
+    "COMPONENT_KINDS",
+    "ComponentRef",
+    "DEFAULT_COMPONENTS",
+    "KINDS",
+    "Registration",
+    "ResolvedScenario",
+    "Scenario",
+    "ScenarioRegistry",
+    "get_scenario",
+    "register_scenario",
+    "resolve",
+    "scenario",
+]

@@ -1,0 +1,117 @@
+"""Decorator-driven component registry: pipeline pieces by name.
+
+One registry instance (:data:`scenario`) holds every pluggable piece of the
+pipeline, namespaced by *kind*: traffic-actor populations, telescope
+configurations, ruleset builders, dataset sources, RCA heuristics — and the
+scenarios that compose them.  Registration is a decorator::
+
+    @scenario.register("botnet-burst", kind="traffic", description="...")
+    def botnet_traffic(config, window, **params): ...
+
+Unlike the exemplar registries this one refuses silent shadowing: a second
+registration under an existing ``(kind, name)`` raises :class:`ValueError`
+naming both registrants, with ``replace=True`` as the explicit escape
+hatch (tests monkeypatching a component, notebooks iterating on one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Component namespaces, in pipeline order; ``scenario`` compositions last.
+KINDS: Tuple[str, ...] = (
+    "dataset",
+    "traffic",
+    "telescope",
+    "rules",
+    "rca",
+    "scenario",
+)
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered component: its factory plus discovery metadata."""
+
+    name: str
+    kind: str
+    factory: Callable
+    description: str = ""
+    registered_by: str = ""
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.kind}/{self.name}"
+
+
+class ScenarioRegistry:
+    """Name → component mapping for every pluggable pipeline piece."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], Registration] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        kind: str,
+        description: str = "",
+        replace: bool = False,
+    ) -> Callable:
+        """Decorator registering ``factory`` under ``(kind, name)``.
+
+        Raises :class:`ValueError` on an unknown kind, or on a duplicate
+        name unless ``replace=True``.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown kind {kind!r} (kinds: {', '.join(KINDS)})")
+
+        def decorator(factory: Callable) -> Callable:
+            key = (kind, name)
+            registered_by = f"{factory.__module__}.{getattr(factory, '__qualname__', factory.__class__.__name__)}"
+            existing = self._entries.get(key)
+            if existing is not None and not replace:
+                raise ValueError(
+                    f"{kind} component {name!r} already registered by "
+                    f"{existing.registered_by}; refusing re-registration by "
+                    f"{registered_by} (pass replace=True to override)"
+                )
+            self._entries[key] = Registration(
+                name=name,
+                kind=kind,
+                factory=factory,
+                description=description,
+                registered_by=registered_by,
+            )
+            return factory
+
+        return decorator
+
+    def get(self, kind: str, name: str) -> Registration:
+        """Lookup; raises :class:`KeyError` listing known names on a miss."""
+        try:
+            return self._entries[(kind, name)]
+        except KeyError:
+            known = ", ".join(sorted(self.names(kind))) or "<none>"
+            raise KeyError(
+                f"no {kind} component named {name!r} (known: {known})"
+            ) from None
+
+    def names(self, kind: str) -> List[str]:
+        return sorted(n for (k, n) in self._entries if k == kind)
+
+    def entries(self, kind: Optional[str] = None) -> List[Registration]:
+        found = [
+            entry
+            for (k, _), entry in sorted(self._entries.items())
+            if kind is None or k == kind
+        ]
+        return found
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._entries
+
+
+#: The process-wide registry every built-in and plugin registers into.
+scenario = ScenarioRegistry()

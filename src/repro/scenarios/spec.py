@@ -1,0 +1,102 @@
+"""The declarative :class:`Scenario` spec: name + component refs + params.
+
+A scenario is pure data — which registered component fills each pipeline
+kind (with keyword params), plus :class:`~repro.analysis.pipeline.
+StudyConfig` field overrides.  It round-trips through JSON and TOML so a
+scenario can live in a config file, a manifest, or a CLI flag without
+importing any pipeline code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.scenarios.registry import KINDS
+
+#: Kinds a scenario may reference (everything except scenario itself).
+COMPONENT_KINDS = tuple(kind for kind in KINDS if kind != "scenario")
+
+
+@dataclass(frozen=True)
+class ComponentRef:
+    """A reference to one registered component plus its keyword params."""
+
+    ref: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"ref": self.ref}
+        if self.params:
+            payload["params"] = dict(self.params)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ComponentRef":
+        if isinstance(data, str):
+            return cls(ref=data)
+        if not isinstance(data, dict) or "ref" not in data:
+            raise ValueError(f"component ref must be a name or {{ref, params}}: {data!r}")
+        return cls(ref=data["ref"], params=dict(data.get("params") or {}))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named composition of pipeline components and config overrides."""
+
+    name: str
+    description: str = ""
+    components: Mapping[str, ComponentRef] = field(default_factory=dict)
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [kind for kind in self.components if kind not in COMPONENT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} references unknown kinds {unknown} "
+                f"(kinds: {', '.join(COMPONENT_KINDS)})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "components": {
+                kind: ref.to_dict() for kind, ref in sorted(self.components.items())
+            },
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        if "name" not in data:
+            raise ValueError("scenario spec missing 'name'")
+        components = {
+            kind: ComponentRef.from_dict(ref)
+            for kind, ref in (data.get("components") or {}).items()
+        }
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            components=components,
+            config=dict(data.get("config") or {}),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_toml(cls, text: str) -> "Scenario":
+        """Parse a TOML scenario (requires Python 3.11+ ``tomllib``)."""
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py<3.11
+            raise RuntimeError(
+                "TOML scenarios require Python 3.11+ (tomllib); use JSON"
+            ) from exc
+        return cls.from_dict(tomllib.loads(text))

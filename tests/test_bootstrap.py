@@ -4,13 +4,14 @@ import pytest
 
 from repro.core.bootstrap import bootstrap_skill
 from repro.core.skill import compute_skill, mean_skill
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.lifecycle.assembly import assemble_timelines
 
 
 @pytest.fixture(scope="module")
 def timelines():
-    return assemble_timelines(build_datasets(background_count=100))
+    return assemble_timelines(build_bundle(default_plan(background_count=100)))
 
 
 @pytest.fixture(scope="module")

@@ -20,7 +20,8 @@ from repro.datasets.catalog import (
     talos_disclosed_cves,
 )
 from repro.datasets.kev import KEV_PROGRAM_START, build_kev, kev_cvss_scores
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.datasets.nvd import background_population, studied_cve_records
 from repro.datasets.records import CveRecord, ExploitEvidence, KevEntry
 from repro.datasets.seed_cves import SEED_CVES, STUDY_WINDOW, seed_by_id, total_events
@@ -294,7 +295,7 @@ class TestLoader:
         assert bundle.profile("CVE-2021-44228").vendor == "Apache"
 
     def test_bundle_deterministic(self):
-        a = build_datasets(seed=5, background_count=100)
-        b = build_datasets(seed=5, background_count=100)
+        a = build_bundle(default_plan(seed=5, background_count=100))
+        b = build_bundle(default_plan(seed=5, background_count=100))
         assert [e.date_added for e in a.kev] == [e.date_added for e in b.kev]
         assert [r.cvss for r in a.nvd_background] == [r.cvss for r in b.nvd_background]

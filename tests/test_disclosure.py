@@ -4,7 +4,8 @@ from datetime import timedelta
 
 import pytest
 
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.disclosure.artifacts import (
     DeploymentObservation,
     DisclosureArtifact,
@@ -132,7 +133,7 @@ class TestLifecycleDerivation:
 class TestPipelineAdapters:
     @pytest.fixture(scope="class")
     def bundle(self):
-        return build_datasets(background_count=100)
+        return build_bundle(default_plan(background_count=100))
 
     def test_artifact_per_studied_cve(self, bundle):
         artifacts = artifacts_from_bundle(bundle)

@@ -13,13 +13,14 @@ from repro.analysis.vendors import (
 )
 from repro.core.autopatch import auto_patch_outcome, auto_patch_sweep
 from repro.datasets.catalog import VENDOR_CATEGORY_KINDS
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.lifecycle.assembly import assemble_timelines
 
 
 @pytest.fixture(scope="module")
 def timelines():
-    return assemble_timelines(build_datasets(background_count=100))
+    return assemble_timelines(build_bundle(default_plan(background_count=100)))
 
 
 class TestVendorCategories:

@@ -129,15 +129,18 @@ class TestPresets:
     def test_known_presets(self):
         from repro.analysis.pipeline import StudyConfig
 
-        quick = StudyConfig.from_preset("quick")
-        full = StudyConfig.from_preset("full", seed=7)
+        quick = StudyConfig.from_scenario("quick")
+        full = StudyConfig.from_scenario("full", seed=7)
         assert quick.volume_scale < full.volume_scale == 1.0
         assert full.seed == 7
+        assert quick.scenario == "quick"
 
     def test_preset_overrides_win(self):
         from repro.analysis.pipeline import StudyConfig
 
-        tweaked = StudyConfig.from_preset("quick", volume_scale=0.5, workers=3)
+        tweaked = StudyConfig.from_scenario(
+            "quick", volume_scale=0.5, workers=3
+        )
         assert tweaked.volume_scale == 0.5
         assert tweaked.workers == 3
 
@@ -146,7 +149,17 @@ class TestPresets:
         import pytest as _pytest
 
         with _pytest.raises(KeyError):
-            StudyConfig.from_preset("enormous")
+            StudyConfig.from_scenario("enormous")
+
+    def test_from_preset_delegates_to_scenario(self):
+        import warnings
+
+        from repro.analysis.pipeline import StudyConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = StudyConfig.from_preset("quick", seed=5)
+        assert legacy == StudyConfig.from_scenario("quick", seed=5)
 
     def test_positional_construction_rejected(self):
         from repro.analysis.pipeline import StudyConfig

@@ -4,7 +4,8 @@ from datetime import timedelta
 
 import pytest
 
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.datasets.seed_cves import seed_by_id
 from repro.lifecycle.assembly import assemble_timelines
 from repro.lifecycle.events import A, CveTimeline, D, F, LifecycleEvent, P, V, X
@@ -209,7 +210,7 @@ class TestRootCauseAnalysis:
 class TestAssembly:
     @pytest.fixture(scope="class")
     def timelines(self):
-        bundle = build_datasets(background_count=100)
+        bundle = build_bundle(default_plan(background_count=100))
         return assemble_timelines(bundle)
 
     def test_every_studied_cve_has_timeline(self, timelines):
@@ -241,7 +242,7 @@ class TestAssembly:
         assert timeline.time(V) == min(seed.published, seed.fix_available)
 
     def test_observed_first_attacks_override_seed(self):
-        bundle = build_datasets(background_count=100)
+        bundle = build_bundle(default_plan(background_count=100))
         observed = {"CVE-2021-44228": utc(2021, 12, 25)}
         timelines = assemble_timelines(bundle, observed)
         assert timelines["CVE-2021-44228"].time(A) == utc(2021, 12, 25)
@@ -252,7 +253,7 @@ class TestAssembly:
         assert timelines[seed.cve_id].time(A) == seed.first_attack
 
     def test_rule_delay_shifts_d_not_f(self):
-        bundle = build_datasets(background_count=100, rule_delay_days=30)
+        bundle = build_bundle(default_plan(background_count=100, rule_delay_days=30))
         timelines = assemble_timelines(bundle)
         timeline = timelines["CVE-2021-44228"]
         assert timeline.time(D) - timeline.time(F) == timedelta(days=30)

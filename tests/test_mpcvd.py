@@ -14,7 +14,8 @@ from repro.core.mpcvd import (
     generate_mpcvd_cases,
     summarise_cases,
 )
-from repro.datasets.loader import build_datasets
+from repro.datasets.loader import build_bundle
+from repro.datasets.sources import default_plan
 from repro.lifecycle.assembly import assemble_timelines
 from repro.util.timeutil import utc
 
@@ -66,7 +67,7 @@ class TestMpcvdCase:
 class TestGeneratedCases:
     @pytest.fixture(scope="class")
     def cases(self):
-        timelines = assemble_timelines(build_datasets(background_count=100))
+        timelines = assemble_timelines(build_bundle(default_plan(background_count=100)))
         return generate_mpcvd_cases(timelines)
 
     def test_one_case_per_cve(self, cases):
@@ -83,7 +84,7 @@ class TestGeneratedCases:
         assert summary.median_fix_spread_days is not None
 
     def test_ids_vendor_carries_rule_dates(self, cases):
-        timelines = assemble_timelines(build_datasets(background_count=100))
+        timelines = assemble_timelines(build_bundle(default_plan(background_count=100)))
         from repro.lifecycle.events import F
 
         by_id = {case.cve_id: case for case in cases}
@@ -94,7 +95,7 @@ class TestGeneratedCases:
         )
 
     def test_deterministic(self):
-        timelines = assemble_timelines(build_datasets(background_count=100))
+        timelines = assemble_timelines(build_bundle(default_plan(background_count=100)))
         a = generate_mpcvd_cases(timelines, seed=5)
         b = generate_mpcvd_cases(timelines, seed=5)
         assert a == b

@@ -43,7 +43,7 @@ def _tiny_config(**overrides):
     second, so the end-to-end tests stay cheap."""
     overrides.setdefault("volume_scale", 0.005)
     overrides.setdefault("background_nvd_count", 300)
-    return StudyConfig.from_preset("quick", **overrides)
+    return StudyConfig.from_scenario("quick", **overrides)
 
 
 class TestTracer:
